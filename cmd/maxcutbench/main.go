@@ -1,0 +1,43 @@
+// Command maxcutbench regenerates the paper's Fig. 4: large unweighted
+// G(n, 0.1) instances solved by QAOA² under three sub-solver policies
+// (all-QAOA, all-GW "Classic", Best-of), compared against GW on the
+// full graph and a random partition, reported relative to the QAOA
+// series exactly as in the paper.
+//
+// Usage:
+//
+//	maxcutbench            # laptop-scale node counts
+//	maxcutbench -full      # paper-scale (500..2500 nodes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"qaoa2/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maxcutbench: ")
+	var (
+		full = flag.Bool("full", false, "run at paper scale (nodes 500-2500, 16-qubit sub-graphs)")
+		seed = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultFig4Config()
+	if *full {
+		cfg = experiments.FullFig4Config()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	rows, err := experiments.RunFig4(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFig4(rows))
+}

@@ -1,0 +1,113 @@
+// Command qaoa2 solves a MaxCut instance with the QAOA² divide-and-
+// conquer method, choosing sub-graph solvers the way the paper's hybrid
+// workflow does (quantum, classical, or best-of), and prints the
+// decomposition and the resulting cut.
+//
+// Usage:
+//
+//	qaoa2 -nodes 300 -prob 0.1 -solver best -maxqubits 12
+//	qaoa2 -in instance.txt -solver gw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	root "qaoa2"
+	"qaoa2/internal/graph"
+	"qaoa2/internal/qaoa"
+	internal "qaoa2/internal/qaoa2"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qaoa2: ")
+
+	var (
+		nodes     = flag.Int("nodes", 120, "node count for generated Erdős–Rényi instances")
+		prob      = flag.Float64("prob", 0.1, "edge probability for generated instances")
+		weighted  = flag.Bool("weighted", false, "draw edge weights uniformly from [0,1)")
+		inFile    = flag.String("in", "", "read the instance from a file instead of generating (format: 'n m' header, 'i j w' lines)")
+		maxQubits = flag.Int("maxqubits", 16, "qubit budget: maximum sub-graph size")
+		solver    = flag.String("solver", "best", "sub-graph solver: qaoa|gw|best|anneal|random|one-exchange")
+		merge     = flag.String("merge", "gw", "merge-graph solver: qaoa|gw|exact")
+		layers    = flag.Int("layers", 3, "QAOA ansatz layers p")
+		iters     = flag.Int("iters", 0, "optimizer iteration budget (0 = paper's p-dependent default)")
+		rhobeg    = flag.Float64("rhobeg", 0.5, "COBYLA initial trust radius")
+		shots     = flag.Int("shots", 0, "QAOA objective shots (0 = exact expectation, 4096 = paper)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*inFile, *nodes, *prob, *weighted, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	qopts := qaoa.Options{Layers: *layers, MaxIters: *iters, Rhobeg: *rhobeg, Shots: *shots, Seed: *seed}
+	sub, err := pickSolver(*solver, qopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mrg, err := pickSolver(*merge, qopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := root.Solve(g, root.Options{
+		MaxQubits:   *maxQubits,
+		Solver:      sub,
+		MergeSolver: mrg,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instance:   %v\n", g)
+	fmt.Printf("solver:     %s (merge: %s), qubit budget %d\n", sub.Name(), mrg.Name(), *maxQubits)
+	fmt.Printf("sub-graphs: %d over %d merge level(s)\n", res.SubGraphs, res.Levels)
+	fmt.Printf("            %s\n", internal.SummarizeSubReports(res.SubReports))
+	fmt.Printf("cut value:  %.6f (intra %.6f + cross %.6f)\n", res.Cut.Value, res.IntraCut, res.CrossCut)
+}
+
+func loadGraph(inFile string, nodes int, prob float64, weighted bool, seed uint64) (*root.Graph, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	}
+	w := root.Unweighted
+	if weighted {
+		w = root.UniformWeights
+	}
+	return root.ErdosRenyi(nodes, prob, w, root.NewRand(seed)), nil
+}
+
+func pickSolver(name string, qopts qaoa.Options) (root.SubSolver, error) {
+	switch name {
+	case "qaoa":
+		return root.QAOASolver{Opts: qopts}, nil
+	case "gw":
+		return root.GWSolver{}, nil
+	case "best":
+		return root.BestOfSolver{Solvers: []root.SubSolver{
+			root.QAOASolver{Opts: qopts}, root.GWSolver{},
+		}}, nil
+	case "anneal":
+		return root.AnnealSolver{}, nil
+	case "random":
+		return root.RandomSolver{}, nil
+	case "one-exchange":
+		return internal.OneExchangeSolver{}, nil
+	case "exact":
+		return root.ExactSolver{}, nil
+	default:
+		return nil, fmt.Errorf("unknown solver %q", name)
+	}
+}

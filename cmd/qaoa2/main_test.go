@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qaoa2/internal/qaoa"
+)
+
+func TestPickSolverAllNames(t *testing.T) {
+	for _, name := range []string{"qaoa", "gw", "best", "anneal", "random", "one-exchange", "exact"} {
+		s, err := pickSolver(name, qaoa.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("%s: nil solver", name)
+		}
+	}
+	if _, err := pickSolver("bogus", qaoa.Options{}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestLoadGraphGenerated(t *testing.T) {
+	g, err := loadGraph("", 10, 0.5, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("n=%d", g.N())
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("3 2\n0 1 1.5\n1 2 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, 0, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), 0, 0, false, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

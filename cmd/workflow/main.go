@@ -1,0 +1,73 @@
+// Command workflow demonstrates the paper's HPC-side results: the
+// Fig. 1 heterogeneous-job idle-time reduction, the Fig. 2
+// coordinator/worker distribution scheme, and the cache-blocking
+// distributed-statevector scaling measurement.
+//
+// Usage:
+//
+//	workflow              # all three experiments at default scale
+//	workflow -jobs 8 -workers 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"qaoa2/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("workflow: ")
+	var (
+		jobs    = flag.Int("jobs", 4, "hybrid jobs in the Fig. 1 scheduling comparison")
+		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for the Fig. 2 sweep")
+		qubits  = flag.Int("qubits", 16, "statevector size for the scaling experiment")
+		ranks   = flag.String("ranks", "1,2,4,8", "comma-separated rank counts (powers of two)")
+	)
+	flag.Parse()
+
+	fig1, err := experiments.RunFig1(*jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFig1(fig1))
+	fmt.Println()
+
+	cfg := experiments.DefaultFig2Config()
+	cfg.Workers, err = parseInts(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := experiments.RunFig2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFig2(points))
+	fmt.Println()
+
+	rankList, err := parseInts(*ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaling, err := experiments.RunScaling(*qubits, 2, rankList, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderScaling(scaling))
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %v", csv, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 8 {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package qaoa2_test
+
+import (
+	"testing"
+
+	"qaoa2"
+)
+
+// The facade tests pin the public API surface: everything a downstream
+// user needs must be reachable through the root package alone.
+
+func TestFacadeGraphAndBaselines(t *testing.T) {
+	g := qaoa2.NewGraph(4)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(2, 3, 2)
+	exact, err := qaoa2.BruteForce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Value != 3 {
+		t.Fatalf("exact %v", exact.Value)
+	}
+	r := qaoa2.NewRand(1)
+	if c := qaoa2.RandomCut(g, 4, r); c.Value < 0 {
+		t.Fatal("random cut negative")
+	}
+	if c := qaoa2.OneExchange(g, r); c.Value != 3 {
+		t.Fatalf("one-exchange %v (two disjoint edges are trivially optimal)", c.Value)
+	}
+	if c := qaoa2.SimulatedAnnealing(g, qaoa2.AnnealOptions{Sweeps: 50}, r); c.Value != 3 {
+		t.Fatalf("annealing %v", c.Value)
+	}
+}
+
+func TestFacadeQAOAAndGW(t *testing.T) {
+	g := qaoa2.ErdosRenyi(10, 0.4, qaoa2.UniformWeights, qaoa2.NewRand(2))
+	qres, err := qaoa2.SolveQAOA(g, qaoa2.QAOAOptions{Layers: 2, MaxIters: 30}, qaoa2.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qres.Cut.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	gres, err := qaoa2.SolveGW(g, qaoa2.GWOptions{}, qaoa2.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Best.Value > gres.SDPValue+1e-6 {
+		t.Fatalf("GW best %v above SDP bound %v", gres.Best.Value, gres.SDPValue)
+	}
+}
+
+func TestFacadeQAOA2EndToEnd(t *testing.T) {
+	g := qaoa2.ErdosRenyi(40, 0.15, qaoa2.Unweighted, qaoa2.NewRand(5))
+	res, err := qaoa2.Solve(g, qaoa2.Options{
+		MaxQubits: 8,
+		Solver: qaoa2.BestOfSolver{Solvers: []qaoa2.SubSolver{
+			qaoa2.QAOASolver{Opts: qaoa2.QAOAOptions{Layers: 2, MaxIters: 25}},
+			qaoa2.GWSolver{},
+		}},
+		MergeSolver: qaoa2.ExactSolver{},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cut.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if res.SubGraphs < 2 {
+		t.Fatalf("expected decomposition, got %d sub-graphs", res.SubGraphs)
+	}
+}
+
+func TestFacadeRQAOA(t *testing.T) {
+	g := qaoa2.ErdosRenyi(10, 0.4, qaoa2.Unweighted, qaoa2.NewRand(6))
+	res, err := qaoa2.SolveRQAOA(g, qaoa2.RQAOAOptions{
+		Cutoff: 6,
+		QAOA:   qaoa2.QAOAOptions{Layers: 2, MaxIters: 25},
+	}, qaoa2.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cut.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCoordinatedSolve(t *testing.T) {
+	g := qaoa2.ErdosRenyi(30, 0.2, qaoa2.Unweighted, qaoa2.NewRand(7))
+	res, err := qaoa2.CoordinatedSolve(g, qaoa2.CoordinatedOptions{
+		Workers:     2,
+		MaxQubits:   8,
+		Solver:      qaoa2.GWSolver{},
+		MergeSolver: qaoa2.GWSolver{},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cut.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDensityPolicy(t *testing.T) {
+	p := qaoa2.DensityPolicy(0.5, qaoa2.ExactSolver{}, qaoa2.GWSolver{})
+	sparse := qaoa2.NewGraph(5)
+	sparse.MustAddEdge(0, 1, 1)
+	if p(sparse).Name() != "exact" {
+		t.Fatal("sparse not routed to quantum solver")
+	}
+}
+
+func TestFacadeNoiseAndWarmStart(t *testing.T) {
+	g := qaoa2.ErdosRenyi(8, 0.4, qaoa2.Unweighted, qaoa2.NewRand(8))
+	v, err := qaoa2.NoisyExpectation(g, []float64{0.4, 0.6}, []float64{0.5, 0.2},
+		qaoa2.NoiseModel{OneQubit: 0.05, TwoQubit: 0.05}, 4, qaoa2.SynthPreferences{}, qaoa2.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || v > g.TotalWeight() {
+		t.Fatalf("noisy expectation %v outside (0, total weight]", v)
+	}
+	data, err := qaoa2.BuildParamDataset([]*qaoa2.Graph{g}, qaoa2.QAOAOptions{Layers: 2, MaxIters: 25}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := qaoa2.TrainParamPredictor(data, qaoa2.ParamConfig{Layers: 2, Epochs: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, bs, err := pred.Predict(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 || len(bs) != 2 {
+		t.Fatalf("prediction shape %d/%d", len(gs), len(bs))
+	}
+}
+
+func TestFacadeScheduler(t *testing.T) {
+	m, err := qaoa2.SimulateCluster(qaoa2.Resources{Nodes: 2, QPUs: 1}, []qaoa2.Job{{
+		Name:          "hybrid",
+		Heterogeneous: true,
+		Steps: []qaoa2.Step{
+			{Name: "prep", Req: qaoa2.Resources{Nodes: 2}, Duration: 4},
+			{Name: "qaoa", Req: qaoa2.Resources{QPUs: 1}, Duration: 1},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != 5 {
+		t.Fatalf("makespan %v", m.Makespan)
+	}
+}

@@ -1,0 +1,117 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the one-gate-per-line format produced by Export:
+//
+//	qubits N
+//	H 0
+//	RZZ 0 1 0.25
+//	CNOT 0 1
+//
+// Blank lines and '#' comments are ignored. Parse and Export round-trip
+// exactly, enabling circuit interchange between the CLI tools and the
+// experiment harness (the workflow-level analogue of shipping QASM to a
+// device).
+func Parse(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if c == nil {
+			if len(fields) != 2 || fields[0] != "qubits" {
+				return nil, fmt.Errorf("circuit: line %d: want \"qubits N\" header, got %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("circuit: line %d: bad qubit count %q", lineNo, fields[1])
+			}
+			c = New(n)
+			continue
+		}
+		kind, ok := kindByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("circuit: line %d: unknown gate %q", lineNo, fields[0])
+		}
+		twoQ := kind.IsTwoQubit()
+		param := kind.IsParameterized()
+		want := 2 // name + q0
+		if twoQ {
+			want++
+		}
+		if param {
+			want++
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("circuit: line %d: %s takes %d fields, got %d", lineNo, kind, want, len(fields))
+		}
+		q0, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("circuit: line %d: bad qubit %q", lineNo, fields[1])
+		}
+		q1 := -1
+		next := 2
+		if twoQ {
+			q1, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad qubit %q", lineNo, fields[2])
+			}
+			next = 3
+		}
+		theta := 0.0
+		if param {
+			theta, err = strconv.ParseFloat(fields[next], 64)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad angle %q", lineNo, fields[next])
+			}
+		}
+		if err := appendGate(c, kind, q0, q1, theta); err != nil {
+			return nil, fmt.Errorf("circuit: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuit: empty input")
+	}
+	return c, nil
+}
+
+func kindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// appendGate validates operands via the builder methods, converting
+// their panics into errors for the parser.
+func appendGate(c *Circuit, kind Kind, q0, q1 int, theta float64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	if q1 >= 0 {
+		c.add2(kind, q0, q1, theta)
+	} else {
+		c.add1(kind, q0, theta)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"qaoa2/internal/rng"
+)
+
+func TestParseExportRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	c := New(6)
+	for q := 0; q < 6; q++ {
+		c.AddH(q)
+	}
+	for k := 0; k < 25; k++ {
+		a, b := r.Intn(6), r.Intn(6)
+		if a == b {
+			continue
+		}
+		switch r.Intn(5) {
+		case 0:
+			c.AddRZZ(a, b, r.Float64()*3-1.5)
+		case 1:
+			c.AddCNOT(a, b)
+		case 2:
+			c.AddRX(a, r.Float64())
+		case 3:
+			c.AddCZ(a, b)
+		case 4:
+			c.AddSwap(a, b)
+		}
+	}
+	parsed, err := Parse(strings.NewReader(c.Export()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.N != c.N || len(parsed.Gates) != len(c.Gates) {
+		t.Fatalf("round trip n=%d gates=%d want n=%d gates=%d", parsed.N, len(parsed.Gates), c.N, len(c.Gates))
+	}
+	for i, g := range c.Gates {
+		if parsed.Gates[i] != g {
+			t.Fatalf("gate %d differs: %v vs %v", i, parsed.Gates[i], g)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	in := "# a qaoa ansatz\nqubits 2\n\nH 0\n# cost layer\nRZZ 0 1 -0.4\n"
+	c, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 2 || len(c.Gates) != 2 {
+		t.Fatalf("parsed n=%d gates=%d", c.N, len(c.Gates))
+	}
+	if c.Gates[1].Param != -0.4 {
+		t.Fatalf("param %v", c.Gates[1].Param)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"H 0\n",                   // missing header
+		"qubits x\n",              // bad count
+		"qubits 0\n",              // zero qubits
+		"qubits 2\nFOO 0\n",       // unknown gate
+		"qubits 2\nH\n",           // missing operand
+		"qubits 2\nH 0 1\n",       // extra operand
+		"qubits 2\nRZZ 0 1\n",     // missing angle
+		"qubits 2\nRZZ 0 0 0.5\n", // identical operands
+		"qubits 2\nH 5\n",         // out of range
+		"qubits 2\nRX 0 abc\n",    // bad angle
+		"qubits 2\nCNOT 0 x\n",    // bad qubit
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Fatalf("malformed input accepted: %q", in)
+		}
+	}
+}

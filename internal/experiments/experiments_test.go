@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/sdp"
+)
+
+// tinyGrid keeps unit tests fast; the benches run DefaultFig3Config.
+func tinyGrid() GridConfig {
+	return GridConfig{
+		NodeCounts:       []int{6, 8},
+		EdgeProbs:        []float64{0.2, 0.5},
+		Layers:           []int{2},
+		Rhobegs:          []float64{0.1, 0.5},
+		Weightings:       []graph.Weighting{graph.Unweighted, graph.UniformWeights},
+		InstancesPerCell: 1,
+		Seed:             7,
+	}
+}
+
+func TestRunGridShapeAndDeterminism(t *testing.T) {
+	res, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 2 * 2 * 1 * 2 * 1 // weightings·nodes·probs·layers·rhobegs·instances
+	if len(res.Records) != want {
+		t.Fatalf("records %d want %d", len(res.Records), want)
+	}
+	res2, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Records {
+		if res.Records[i].QAOAValue != res2.Records[i].QAOAValue ||
+			res.Records[i].GWAverage != res2.Records[i].GWAverage {
+			t.Fatalf("grid not deterministic at record %d", i)
+		}
+	}
+}
+
+func TestRunGridValidation(t *testing.T) {
+	cfg := tinyGrid()
+	cfg.Layers = nil
+	if _, err := RunGrid(cfg); err == nil {
+		t.Fatal("empty axis accepted")
+	}
+}
+
+func TestCellAndGridProportionsInRange(t *testing.T) {
+	res, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Config.Weightings {
+		for _, m := range [][][]float64{
+			res.CellProportions(w, GridRecord.QAOAWins),
+			res.CellProportions(w, GridRecord.QAOANear),
+			res.GridProportions(w, GridRecord.QAOAWins),
+		} {
+			for _, row := range m {
+				for _, v := range row {
+					if v < 0 || v > 1 {
+						t.Fatalf("proportion %v outside [0,1]", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPredicatesAreDisjoint(t *testing.T) {
+	res, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.QAOAWins() && r.QAOANear() {
+			t.Fatalf("record both wins and near: %+v", r)
+		}
+	}
+}
+
+func TestBestGridPointIsFromGrid(t *testing.T) {
+	res, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r, rate := res.BestGridPoint()
+	if l != 2 {
+		t.Fatalf("layers %d not in grid", l)
+	}
+	if r != 0.1 && r != 0.5 {
+		t.Fatalf("rhobeg %v not in grid", r)
+	}
+	if rate < 0 || rate > 1 {
+		t.Fatalf("rate %v", rate)
+	}
+}
+
+func TestRenderFig3AndTable1(t *testing.T) {
+	res, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFig3(res)
+	for _, want := range []string{"Fig3a", "Fig3b", "Fig3c", "best grid point"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig3 render missing %q:\n%s", want, out)
+		}
+	}
+	tbl := RenderTable1(res)
+	if !strings.Contains(tbl, "Table1 (top)") || !strings.Contains(tbl, "Table1 (bottom)") {
+		t.Fatalf("Table1 render:\n%s", tbl)
+	}
+	rows := Table1Rows(res)
+	if len(rows) != len(res.Config.NodeCounts)*2 {
+		t.Fatalf("table1 rows %d", len(rows))
+	}
+}
+
+func TestRunFig4SmallAndShapes(t *testing.T) {
+	cfg := Fig4Config{
+		NodeCounts: []int{40},
+		EdgeProb:   0.15,
+		MaxQubits:  8,
+		QAOA:       qaoa.Options{Layers: 2, MaxIters: 25},
+		Seed:       5,
+	}
+	rows, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	r := rows[0]
+	if r.SubGraphs < 2 {
+		t.Fatalf("no decomposition: %+v", r)
+	}
+	// Baseline sanity: every structured method beats a single random cut.
+	for name, v := range map[string]float64{"classic": r.Classic, "qaoa": r.QAOA, "best": r.Best, "gw": r.GWFull} {
+		if v <= r.Random*0.95 {
+			t.Fatalf("%s=%v not clearly above random=%v", name, v, r.Random)
+		}
+	}
+	out := RenderFig4(rows)
+	if !strings.Contains(out, "Fig4") || !strings.Contains(out, "40") {
+		t.Fatalf("fig4 render:\n%s", out)
+	}
+}
+
+func TestRunFig4Validation(t *testing.T) {
+	if _, err := RunFig4(Fig4Config{MaxQubits: 1}); err == nil {
+		t.Fatal("bad MaxQubits accepted")
+	}
+}
+
+func TestRunFig1IdleReduction(t *testing.T) {
+	res, err := RunFig1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Het.QPUIdleFrac >= res.Mono.QPUIdleFrac {
+		t.Fatalf("het idle %v not below mono %v", res.Het.QPUIdleFrac, res.Mono.QPUIdleFrac)
+	}
+	if res.Het.Makespan > res.Mono.Makespan {
+		t.Fatalf("het makespan regressed: %v vs %v", res.Het.Makespan, res.Mono.Makespan)
+	}
+	out := RenderFig1(res)
+	if !strings.Contains(out, "heterogeneous") {
+		t.Fatalf("fig1 render:\n%s", out)
+	}
+}
+
+func TestRunFig2Workflow(t *testing.T) {
+	cfg := Fig2Config{Nodes: 60, EdgeProb: 0.1, Workers: []int{1, 2}, MaxQubits: 10, Seed: 6}
+	points, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	// Same instance and per-part seeding: identical cut values.
+	if points[0].Cut != points[1].Cut {
+		t.Fatalf("cut differs across worker counts: %v vs %v", points[0].Cut, points[1].Cut)
+	}
+	if points[0].Messages == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	out := RenderFig2(points)
+	if !strings.Contains(out, "workers") {
+		t.Fatalf("fig2 render:\n%s", out)
+	}
+}
+
+func TestRunScalingTrafficModel(t *testing.T) {
+	points, err := RunScaling(10, 1, []int{1, 2, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points %d", len(points))
+	}
+	// Single rank never communicates; more ranks only add traffic.
+	if points[0].Messages != 0 {
+		t.Fatalf("1 rank sent %d messages", points[0].Messages)
+	}
+	if points[2].Messages <= points[1].Messages {
+		t.Fatalf("messages not growing with ranks: %+v", points)
+	}
+	out := RenderScaling(points)
+	if !strings.Contains(out, "ranks") {
+		t.Fatalf("scaling render:\n%s", out)
+	}
+}
+
+func TestRunGWScalingBothMethods(t *testing.T) {
+	points, err := RunGWScaling([]int{30, 150}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 nodes gets both methods; 150 still both (≤ AutoADMMLimit?) —
+	// 150 > 120 so mixing only: expect 3 points.
+	if len(points) != 3 {
+		t.Fatalf("points %d: %+v", len(points), points)
+	}
+	sawADMM := false
+	for _, p := range points {
+		if p.Method == sdp.ADMM {
+			sawADMM = true
+			if p.Nodes > sdp.AutoADMMLimit {
+				t.Fatalf("ADMM run at %d nodes", p.Nodes)
+			}
+		}
+		if p.AvgCut > p.SDPValue+1e-6 {
+			t.Fatalf("cut above SDP bound: %+v", p)
+		}
+	}
+	if !sawADMM {
+		t.Fatal("no ADMM measurement")
+	}
+	if out := RenderGWScaling(points); !strings.Contains(out, "method") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSynthesisAblationImprovesDepth(t *testing.T) {
+	pairs, err := SynthesisAblation(12, 0.4, 2, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for _, p := range pairs {
+		if p[1] > p[0] {
+			t.Fatalf("optimized depth %d worse than naive %d", p[1], p[0])
+		}
+		if p[1] < p[0] {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("depth optimization never improved on random instances")
+	}
+}
+
+func TestCircuitMetricsForBasis(t *testing.T) {
+	g := graph.Complete(5)
+	native, cx, err := CircuitMetricsForBasis(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx.TwoQubitGates <= native.TwoQubitGates {
+		t.Fatalf("CX basis should cost more 2q gates: %d vs %d", cx.TwoQubitGates, native.TwoQubitGates)
+	}
+}
+
+func TestSelectorTrainsOnGridData(t *testing.T) {
+	res, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny grids may be label-skewed; just require training to succeed
+	// and accuracy to be a valid proportion.
+	_, acc, err := TrainSelector(res.Records, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 || math.IsNaN(acc) {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestSelectorDatasetLabels(t *testing.T) {
+	res, err := RunGrid(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := SelectorDataset(res.Records)
+	if len(samples) != len(res.Records) {
+		t.Fatalf("samples %d records %d", len(samples), len(res.Records))
+	}
+	for i, s := range samples {
+		want := 0
+		if res.Records[i].QAOAWins() {
+			want = 1
+		}
+		if s.Y != want {
+			t.Fatalf("sample %d label %d want %d", i, s.Y, want)
+		}
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	h := RenderHeatmap("t", "r", "c", []string{"a"}, []string{"x", "y"}, [][]float64{{1, 0.5}})
+	if !strings.Contains(h, "t") || !strings.Contains(h, "0.5") {
+		t.Fatalf("heatmap:\n%s", h)
+	}
+	tb := RenderTable("t", []string{"h1", "h2"}, [][]string{{"a", "b"}})
+	if !strings.Contains(tb, "h1") || !strings.Contains(tb, "b") {
+		t.Fatalf("table:\n%s", tb)
+	}
+}

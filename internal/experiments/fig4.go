@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/gw"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/qaoa2"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/sdp"
+)
+
+// Fig4Config parameterizes the large-graph QAOA² comparison of Fig. 4:
+// unweighted G(n, p) instances, first-level sub-graphs solved either all
+// with QAOA, all with GW, or with the best of the two; further merge
+// iterations use the classical solver (as in the paper); plus the GW
+// solution of the FULL graph and a random-partition baseline.
+type Fig4Config struct {
+	NodeCounts []int
+	EdgeProb   float64
+	MaxQubits  int          // sub-graph qubit budget n
+	QAOA       qaoa.Options // leaf QAOA configuration
+	Seed       uint64
+}
+
+// DefaultFig4Config is the laptop-scale reduction (nodes 500-2500 →
+// 150-450, qubit budget 16 → 10).
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		NodeCounts: []int{150, 300, 450},
+		EdgeProb:   0.1,
+		MaxQubits:  10,
+		QAOA:       qaoa.Options{Layers: 2, MaxIters: 30},
+		Seed:       3,
+	}
+}
+
+// FullFig4Config is the paper-scale configuration: node counts
+// {500,...,2500}, edge probability 0.1, 16-qubit sub-graphs, and the
+// best (rhobeg=0.5, p=6) QAOA parameterization from the grid search.
+func FullFig4Config() Fig4Config {
+	return Fig4Config{
+		NodeCounts: []int{500, 1000, 1500, 2000, 2500},
+		EdgeProb:   0.1,
+		MaxQubits:  16,
+		QAOA:       qaoa.Options{Layers: 6, Rhobeg: 0.5, MaxIters: qaoa.IterationsFor(6)},
+		Seed:       3,
+	}
+}
+
+// Fig4Row is one node count's series values (absolute cut weights).
+type Fig4Row struct {
+	Nodes   int
+	Random  float64 // random partition of the full graph
+	Classic float64 // QAOA² with GW sub-solvers
+	QAOA    float64 // QAOA² with QAOA sub-solvers
+	Best    float64 // QAOA² picking the better per sub-graph
+	GWFull  float64 // GW on the entire graph (30-slice average)
+	// SubGraphs and Levels record the QAOA² decomposition shape.
+	SubGraphs int
+	Levels    int
+}
+
+// RunFig4 executes the comparison. Deterministic for a fixed config.
+func RunFig4(cfg Fig4Config) ([]Fig4Row, error) {
+	if cfg.MaxQubits <= 1 {
+		return nil, fmt.Errorf("experiments: MaxQubits must exceed 1")
+	}
+	var rows []Fig4Row
+	for _, n := range cfg.NodeCounts {
+		seed := cfg.Seed ^ uint64(n)<<16
+		r := rng.New(seed)
+		g := graph.ErdosRenyi(n, cfg.EdgeProb, graph.Unweighted, r)
+
+		qaoaLeaf := qaoa2.QAOASolver{Opts: cfg.QAOA}
+		gwLeaf := qaoa2.GWSolver{}
+		classicalMerge := qaoa2.GWSolver{} // "in case of further iterations ... the classical solution is chosen"
+
+		row := Fig4Row{Nodes: n}
+
+		resQ, err := qaoa2.Solve(g, qaoa2.Options{
+			MaxQubits: cfg.MaxQubits, Solver: qaoaLeaf, MergeSolver: classicalMerge, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 QAOA series n=%d: %w", n, err)
+		}
+		row.QAOA = resQ.Cut.Value
+		row.SubGraphs = resQ.SubGraphs
+		row.Levels = resQ.Levels
+
+		resC, err := qaoa2.Solve(g, qaoa2.Options{
+			MaxQubits: cfg.MaxQubits, Solver: gwLeaf, MergeSolver: classicalMerge, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 Classic series n=%d: %w", n, err)
+		}
+		row.Classic = resC.Cut.Value
+
+		resB, err := qaoa2.Solve(g, qaoa2.Options{
+			MaxQubits:   cfg.MaxQubits,
+			Solver:      qaoa2.BestOfSolver{Solvers: []qaoa2.SubSolver{qaoaLeaf, gwLeaf}},
+			MergeSolver: classicalMerge, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 Best series n=%d: %w", n, err)
+		}
+		row.Best = resB.Cut.Value
+
+		gwFull, err := gw.Solve(g, gw.Options{SDP: sdp.Options{Method: sdp.Mixing, Seed: seed}}, rng.New(seed^0xf1f1))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 GW-full n=%d: %w", n, err)
+		}
+		row.GWFull = gwFull.Average
+
+		row.Random = maxcut.RandomCut(g, 1, rng.New(seed^0x0dd0)).Value
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig4 renders the series relative to the QAOA series, matching
+// the paper's "Data is relative to the QAOA solution" normalization.
+func RenderFig4(rows []Fig4Row) string {
+	header := []string{"nodes", "Random", "Classic", "QAOA", "Best", "GW", "subgraphs", "levels"}
+	var table [][]string
+	for _, r := range rows {
+		norm := r.QAOA
+		if norm == 0 {
+			norm = 1
+		}
+		table = append(table, []string{
+			fmt.Sprintf("%d", r.Nodes),
+			fmtF(r.Random / norm),
+			fmtF(r.Classic / norm),
+			fmtF(r.QAOA / norm),
+			fmtF(r.Best / norm),
+			fmtF(r.GWFull / norm),
+			fmt.Sprintf("%d", r.SubGraphs),
+			fmt.Sprintf("%d", r.Levels),
+		})
+	}
+	return RenderTable("Fig4: MaxCut relative to the QAOA series", header, table)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qaoa2/internal/rng"
+)
+
+func TestStandardFamiliesGenerate(t *testing.T) {
+	for _, fam := range StandardFamilies() {
+		g := fam.Generate(40, rng.New(1))
+		if g.N() < 40 || g.M() == 0 {
+			t.Fatalf("family %s produced %v", fam.Name, g)
+		}
+	}
+}
+
+func TestRunGraphTypes(t *testing.T) {
+	rows, err := RunGraphTypes(StandardFamilies(), 60, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.QAOA2 <= 0 || r.GWFull <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.QAOA2 <= r.Random*0.9 {
+			t.Fatalf("%s: QAOA² %v not clearly above random %v", r.Family, r.QAOA2, r.Random)
+		}
+	}
+	out := RenderGraphTypes(rows)
+	if !strings.Contains(out, "regular-3") || !strings.Contains(out, "community") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRunGraphTypesValidation(t *testing.T) {
+	if _, err := RunGraphTypes(StandardFamilies(), 1, 10, 1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestRunPartitionAblation(t *testing.T) {
+	rows, err := RunPartitionAblation(80, 0.1, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	byName := map[string]PartitionAblationRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+		if r.Cut <= 0 || r.SubGraphs < 2 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	// The modularity divider must sever no more weight than a random
+	// balanced partition — that is its entire purpose.
+	if byName["modularity"].CrossW > byName["random"].CrossW {
+		t.Fatalf("modularity cross weight %v above random %v",
+			byName["modularity"].CrossW, byName["random"].CrossW)
+	}
+	out := RenderPartitionAblation(rows)
+	if !strings.Contains(out, "modularity") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"fmt"
+
+	"qaoa2/internal/rng"
+)
+
+// Weighting selects the edge-weight distribution of generated graphs,
+// mirroring the paper's two graph families: uniform (all weights 1) and
+// weighted (weights drawn uniformly from [0, 1]).
+type Weighting int
+
+const (
+	// Unweighted assigns weight 1 to every edge.
+	Unweighted Weighting = iota
+	// UniformWeights draws each weight uniformly from [0, 1).
+	UniformWeights
+)
+
+func (w Weighting) String() string {
+	switch w {
+	case Unweighted:
+		return "unweighted"
+	case UniformWeights:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Weighting(%d)", int(w))
+	}
+}
+
+// ErdosRenyi samples G(n, p): every unordered node pair is an edge
+// independently with probability p, with weights drawn per the
+// weighting. This reproduces networkx.gnp_random_graph, the generator
+// used for every experiment in the paper.
+func ErdosRenyi(n int, p float64, w Weighting, r *rng.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: edge probability %v outside [0,1]", p))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() >= p {
+				continue
+			}
+			weight := 1.0
+			if w == UniformWeights {
+				weight = r.Float64()
+			}
+			g.MustAddEdge(i, j, weight)
+		}
+	}
+	return g
+}
+
+// Complete returns K_n with unit weights.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle with unit weights (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs at least 3 nodes")
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+// Path returns the path graph on n nodes with unit weights.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Bipartite returns the complete bipartite graph K_{a,b} with unit
+// weights; its MaxCut equals a*b (cut all edges).
+func Bipartite(a, b int) *Graph {
+	g := New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.MustAddEdge(i, a+j, 1)
+		}
+	}
+	return g
+}
+
+// PlantedCommunities generates a graph of k communities of the given
+// size with intra-community edge probability pIn and inter-community
+// probability pOut. Used to exercise the greedy-modularity partitioner
+// on instances with known structure.
+func PlantedCommunities(k, size int, pIn, pOut float64, w Weighting, r *rng.Rand) (*Graph, []int) {
+	n := k * size
+	g := New(n)
+	membership := make([]int, n)
+	for v := range membership {
+		membership[v] = v / size
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pOut
+			if membership[i] == membership[j] {
+				p = pIn
+			}
+			if r.Float64() >= p {
+				continue
+			}
+			weight := 1.0
+			if w == UniformWeights {
+				weight = r.Float64()
+			}
+			g.MustAddEdge(i, j, weight)
+		}
+	}
+	return g, membership
+}
+
+// Regular3 generates a random (approximately) 3-regular graph via the
+// pairing model with retry, a standard QAOA benchmark family.
+func Regular3(n int, r *rng.Rand) *Graph {
+	if n%2 == 1 || n < 4 {
+		panic("graph: 3-regular graph needs even n >= 4")
+	}
+	for attempt := 0; attempt < 100; attempt++ {
+		g, ok := tryPairing(n, 3, r)
+		if ok {
+			return g
+		}
+	}
+	panic("graph: failed to sample a simple 3-regular graph")
+}
+
+func tryPairing(n, d int, r *rng.Rand) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b {
+			return nil, false
+		}
+		if _, exists := g.Weight(a, b); exists {
+			return nil, false
+		}
+		g.MustAddEdge(a, b, 1)
+	}
+	return g, true
+}

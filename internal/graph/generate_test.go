@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"qaoa2/internal/rng"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	r := rng.New(10)
+	n, p := 60, 0.3
+	trials := 20
+	total := 0
+	for k := 0; k < trials; k++ {
+		g := ErdosRenyi(n, p, Unweighted, r)
+		total += g.M()
+	}
+	mean := float64(total) / float64(trials)
+	want := p * float64(n*(n-1)) / 2
+	// 5-sigma band on the binomial mean over the trials.
+	sigma := math.Sqrt(want*(1-p)) / math.Sqrt(float64(trials))
+	if math.Abs(mean-want) > 5*sigma {
+		t.Fatalf("mean edges %v want %v (±%v)", mean, want, 5*sigma)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(20, 0.3, UniformWeights, rng.New(7))
+	b := ErdosRenyi(20, 0.3, UniformWeights, rng.New(7))
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts %d vs %d", a.M(), b.M())
+	}
+	for i, e := range a.Edges() {
+		f := b.Edges()[i]
+		if e != f {
+			t.Fatalf("edge %d differs: %v vs %v", i, e, f)
+		}
+	}
+}
+
+func TestErdosRenyiWeightsInRange(t *testing.T) {
+	g := ErdosRenyi(30, 0.5, UniformWeights, rng.New(3))
+	for _, e := range g.Edges() {
+		if e.W < 0 || e.W >= 1 {
+			t.Fatalf("weight %v outside [0,1)", e.W)
+		}
+	}
+	u := ErdosRenyi(30, 0.5, Unweighted, rng.New(3))
+	for _, e := range u.Edges() {
+		if e.W != 1 {
+			t.Fatalf("unweighted edge weight %v", e.W)
+		}
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	if g := ErdosRenyi(10, 0, Unweighted, rng.New(1)); g.M() != 0 {
+		t.Fatalf("p=0 produced %d edges", g.M())
+	}
+	if g := ErdosRenyi(10, 1, Unweighted, rng.New(1)); g.M() != 45 {
+		t.Fatalf("p=1 produced %d edges, want 45", g.M())
+	}
+}
+
+func TestErdosRenyiPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p>1")
+		}
+	}()
+	ErdosRenyi(5, 1.5, Unweighted, rng.New(1))
+}
+
+func TestCompleteAndCycle(t *testing.T) {
+	if g := Complete(6); g.M() != 15 {
+		t.Fatalf("K6 edges=%d", g.M())
+	}
+	c := Cycle(5)
+	if c.M() != 5 {
+		t.Fatalf("C5 edges=%d", c.M())
+	}
+	for i := 0; i < 5; i++ {
+		if c.Degree(i) != 2 {
+			t.Fatalf("C5 degree(%d)=%d", i, c.Degree(i))
+		}
+	}
+}
+
+func TestPath(t *testing.T) {
+	p := Path(4)
+	if p.M() != 3 {
+		t.Fatalf("P4 edges=%d", p.M())
+	}
+	if p.Degree(0) != 1 || p.Degree(1) != 2 {
+		t.Fatal("path degrees wrong")
+	}
+}
+
+func TestBipartiteMaxCutIsAllEdges(t *testing.T) {
+	g := Bipartite(3, 4)
+	spins := make([]int8, 7)
+	for i := 0; i < 3; i++ {
+		spins[i] = 1
+	}
+	for i := 3; i < 7; i++ {
+		spins[i] = -1
+	}
+	if got := g.CutValue(spins); got != 12 {
+		t.Fatalf("K_{3,4} natural cut=%v want 12", got)
+	}
+}
+
+func TestPlantedCommunitiesStructure(t *testing.T) {
+	r := rng.New(21)
+	g, membership := PlantedCommunities(3, 10, 0.8, 0.05, Unweighted, r)
+	if g.N() != 30 || len(membership) != 30 {
+		t.Fatalf("n=%d len(membership)=%d", g.N(), len(membership))
+	}
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if membership[e.I] == membership[e.J] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter {
+		t.Fatalf("planted graph not community-like: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestRegular3(t *testing.T) {
+	g := Regular3(16, rng.New(9))
+	for v := 0; v < 16; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestWeightingString(t *testing.T) {
+	if Unweighted.String() != "unweighted" || UniformWeights.String() != "weighted" {
+		t.Fatal("Weighting String broken")
+	}
+	if !strings.Contains(Weighting(9).String(), "9") {
+		t.Fatal("unknown weighting should include code")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	r := rng.New(4)
+	g := ErdosRenyi(25, 0.3, UniformWeights, r)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip n=%d m=%d want n=%d m=%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for i, e := range g.Edges() {
+		if back.Edges()[i] != e {
+			t.Fatalf("edge %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"3\n",                   // bad header
+		"2 1\n0 1\n",            // bad edge line
+		"2 2\n0 1 1\n",          // fewer edges than declared
+		"2 1\n0 0 1\n",          // self loop
+		"2 1\n0 5 1\n",          // out of range
+		"x y\n",                 // non-numeric header
+		"2 1\n0 1 notanumber\n", // bad weight
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("malformed input accepted: %q", c)
+		}
+	}
+}
+
+func TestReadAllowsComments(t *testing.T) {
+	in := "# maxcut instance\n\n3 2\n0 1 1.0\n# middle comment\n1 2 2.0\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("parsed n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func BenchmarkErdosRenyi500(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ErdosRenyi(500, 0.1, Unweighted, r)
+	}
+}
+
+func BenchmarkCutValue(b *testing.B) {
+	r := rng.New(1)
+	g := ErdosRenyi(500, 0.1, Unweighted, r)
+	spins := make([]int8, 500)
+	for i := range spins {
+		if r.Bool() {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CutValue(spins)
+	}
+}

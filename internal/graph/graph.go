@@ -1,0 +1,349 @@
+// Package graph implements the weighted undirected graphs at the heart
+// of the MaxCut problem: construction, Erdős–Rényi generation (the
+// paper's workload), cut evaluation, induced subgraphs for the QAOA²
+// dividing step and signed contraction for its merging step.
+//
+// Nodes are dense integers 0..N-1. Parallel edges are merged by summing
+// weights; self-loops are rejected (they never contribute to a cut).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"qaoa2/internal/linalg"
+)
+
+// Edge is an undirected weighted edge with I < J.
+type Edge struct {
+	I, J int
+	W    float64
+}
+
+// Graph is a weighted undirected graph over nodes 0..N-1.
+type Graph struct {
+	n     int
+	edges []Edge
+	// adj[i] lists (neighbor, edge index) pairs for fast traversal.
+	adj [][]Half
+}
+
+// Half is one endpoint's view of an edge.
+type Half struct {
+	To   int     // neighbor node
+	W    float64 // edge weight
+	Edge int     // index into Edges()
+}
+
+// New creates an empty graph with n nodes. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]Half, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge slice. Callers must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Neighbors returns the adjacency list of node i. Callers must not
+// mutate it.
+func (g *Graph) Neighbors(i int) []Half { return g.adj[i] }
+
+// Degree returns the number of edges incident to node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// WeightedDegree returns the sum of weights of edges incident to i.
+func (g *Graph) WeightedDegree(i int) float64 {
+	s := 0.0
+	for _, h := range g.adj[i] {
+		s += h.W
+	}
+	return s
+}
+
+// AddEdge inserts an undirected edge {i, j} with weight w. Adding an
+// edge that already exists accumulates the weight onto the existing
+// edge. Self-loops and out-of-range endpoints are errors.
+func (g *Graph) AddEdge(i, j int, w float64) error {
+	if i == j {
+		return fmt.Errorf("graph: self-loop on node %d", i)
+	}
+	if i < 0 || i >= g.n || j < 0 || j >= g.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", i, j, g.n)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	// Merge with an existing edge if present.
+	for _, h := range g.adj[i] {
+		if h.To == j {
+			g.edges[h.Edge].W += w
+			g.refreshHalf(h.Edge)
+			return nil
+		}
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{I: i, J: j, W: w})
+	g.adj[i] = append(g.adj[i], Half{To: j, W: w, Edge: idx})
+	g.adj[j] = append(g.adj[j], Half{To: i, W: w, Edge: idx})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for tests and literals.
+func (g *Graph) MustAddEdge(i, j int, w float64) {
+	if err := g.AddEdge(i, j, w); err != nil {
+		panic(err)
+	}
+}
+
+// refreshHalf re-synchronizes the cached weights in both adjacency
+// entries of edge idx after a weight merge.
+func (g *Graph) refreshHalf(idx int) {
+	e := g.edges[idx]
+	for k, h := range g.adj[e.I] {
+		if h.Edge == idx {
+			g.adj[e.I][k].W = e.W
+		}
+	}
+	for k, h := range g.adj[e.J] {
+		if h.Edge == idx {
+			g.adj[e.J][k].W = e.W
+		}
+	}
+}
+
+// Weight returns the weight of edge {i,j} and whether it exists.
+func (g *Graph) Weight(i, j int) (float64, bool) {
+	if i < 0 || i >= g.n || j < 0 || j >= g.n || i == j {
+		return 0, false
+	}
+	for _, h := range g.adj[i] {
+		if h.To == j {
+			return h.W, true
+		}
+	}
+	return 0, false
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.edges {
+		c.MustAddEdge(e.I, e.J, e.W)
+	}
+	return c
+}
+
+// CutValue evaluates the cut induced by the spin assignment
+// (spins[i] ∈ {+1, -1}): the sum of weights of edges whose endpoints
+// carry opposite spins. This is exactly the problem Hamiltonian
+// H_C = ½ Σ w_ij (1 − Z_i Z_j) evaluated on a computational basis state.
+func (g *Graph) CutValue(spins []int8) float64 {
+	if len(spins) != g.n {
+		panic(fmt.Sprintf("graph: assignment length %d != n %d", len(spins), g.n))
+	}
+	cut := 0.0
+	for _, e := range g.edges {
+		if spins[e.I] != spins[e.J] {
+			cut += e.W
+		}
+	}
+	return cut
+}
+
+// CutValueBits is CutValue for a 0/1 assignment.
+func (g *Graph) CutValueBits(bits []uint8) float64 {
+	if len(bits) != g.n {
+		panic(fmt.Sprintf("graph: assignment length %d != n %d", len(bits), g.n))
+	}
+	cut := 0.0
+	for _, e := range g.edges {
+		if bits[e.I] != bits[e.J] {
+			cut += e.W
+		}
+	}
+	return cut
+}
+
+// SpinsFromBits converts a 0/1 assignment to ±1 spins (0 → +1, 1 → −1),
+// matching the computational-basis convention Z|0⟩=+|0⟩, Z|1⟩=−|1⟩.
+func SpinsFromBits(bits []uint8) []int8 {
+	s := make([]int8, len(bits))
+	for i, b := range bits {
+		if b == 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+// BitsFromSpins is the inverse of SpinsFromBits.
+func BitsFromSpins(spins []int8) []uint8 {
+	b := make([]uint8, len(spins))
+	for i, s := range spins {
+		if s < 0 {
+			b[i] = 1
+		}
+	}
+	return b
+}
+
+// Laplacian returns the graph Laplacian L = D − A as a dense matrix.
+// The MaxCut SDP objective is ¼⟨L, X⟩.
+func (g *Graph) Laplacian() *linalg.Dense {
+	l := linalg.NewDense(g.n)
+	for _, e := range g.edges {
+		l.Add(e.I, e.I, e.W)
+		l.Add(e.J, e.J, e.W)
+		l.Add(e.I, e.J, -e.W)
+		l.Add(e.J, e.I, -e.W)
+	}
+	return l
+}
+
+// AdjacencyMatrix returns the dense weighted adjacency matrix.
+func (g *Graph) AdjacencyMatrix() *linalg.Dense {
+	a := linalg.NewDense(g.n)
+	for _, e := range g.edges {
+		a.Add(e.I, e.J, e.W)
+		a.Add(e.J, e.I, e.W)
+	}
+	return a
+}
+
+// InducedSubgraph builds the subgraph on the given nodes. It returns
+// the subgraph (nodes renumbered 0..len(nodes)-1 in the given order)
+// and the original-node index for each subgraph node. Duplicate nodes
+// are an error.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int, error) {
+	inv := make(map[int]int, len(nodes))
+	for k, v := range nodes {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph: node %d out of range", v)
+		}
+		if _, dup := inv[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate node %d in subgraph spec", v)
+		}
+		inv[v] = k
+	}
+	sub := New(len(nodes))
+	for _, e := range g.edges {
+		i, iok := inv[e.I]
+		j, jok := inv[e.J]
+		if iok && jok {
+			sub.MustAddEdge(i, j, e.W)
+		}
+	}
+	mapping := make([]int, len(nodes))
+	copy(mapping, nodes)
+	return sub, mapping, nil
+}
+
+// Contract builds the quotient graph for a node grouping. groupOf maps
+// each original node to its group id in [0, numGroups); weight
+// transforms each original cross-group edge weight before accumulation
+// (QAOA² uses this hook to flip the sign of already-cut edges). Edges
+// within a group are dropped. Group pairs connected by several edges get
+// a single edge carrying the accumulated transformed weight; exact
+// cancellations (accumulated weight 0) keep their edge so connectivity
+// is preserved.
+func (g *Graph) Contract(groupOf []int, numGroups int, weight func(e Edge) float64) (*Graph, error) {
+	if len(groupOf) != g.n {
+		return nil, fmt.Errorf("graph: groupOf length %d != n %d", len(groupOf), g.n)
+	}
+	for v, gr := range groupOf {
+		if gr < 0 || gr >= numGroups {
+			return nil, fmt.Errorf("graph: node %d assigned to invalid group %d", v, gr)
+		}
+	}
+	type key struct{ a, b int }
+	acc := make(map[key]float64)
+	for _, e := range g.edges {
+		gi, gj := groupOf[e.I], groupOf[e.J]
+		if gi == gj {
+			continue
+		}
+		if gi > gj {
+			gi, gj = gj, gi
+		}
+		acc[key{gi, gj}] += weight(e)
+	}
+	q := New(numGroups)
+	// Deterministic edge order: sort keys.
+	keys := make([]key, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x].a != keys[y].a {
+			return keys[x].a < keys[y].a
+		}
+		return keys[x].b < keys[y].b
+	})
+	for _, k := range keys {
+		q.MustAddEdge(k.a, k.b, acc[k])
+	}
+	return q, nil
+}
+
+// ConnectedComponents returns the node sets of the connected components,
+// each sorted ascending, ordered by smallest contained node.
+func (g *Graph) ConnectedComponents() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = queue[:0]
+		queue = append(queue, s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, h := range g.adj[v] {
+				if !seen[h.To] {
+					seen[h.To] = true
+					queue = append(queue, h.To)
+					comp = append(comp, h.To)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Density returns 2m / (n(n-1)), the fraction of possible edges present.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / (float64(g.n) * float64(g.n-1))
+}
+
+// String summarizes the graph for logs.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d w=%.3f}", g.n, len(g.edges), g.TotalWeight())
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qaoa2/internal/rng"
+)
+
+func TestNewAndCounts(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("fresh graph N=%d M=%d", g.N(), g.M())
+	}
+	g.MustAddEdge(0, 1, 2.5)
+	g.MustAddEdge(1, 2, 1)
+	if g.M() != 2 {
+		t.Fatalf("M=%d want 2", g.M())
+	}
+	if g.TotalWeight() != 3.5 {
+		t.Fatalf("TotalWeight=%v", g.TotalWeight())
+	}
+}
+
+func TestAddEdgeRejectsSelfLoopAndRange(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+func TestAddEdgeMergesParallel(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 0, 2) // reversed order, same edge
+	if g.M() != 1 {
+		t.Fatalf("parallel edges not merged: M=%d", g.M())
+	}
+	w, ok := g.Weight(0, 1)
+	if !ok || w != 3 {
+		t.Fatalf("merged weight=%v ok=%v", w, ok)
+	}
+	// Adjacency caches must see the merged weight too.
+	if g.Neighbors(0)[0].W != 3 || g.Neighbors(1)[0].W != 3 {
+		t.Fatal("adjacency weight not refreshed after merge")
+	}
+}
+
+func TestWeightLookup(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 2, 1.5)
+	if w, ok := g.Weight(2, 0); !ok || w != 1.5 {
+		t.Fatalf("Weight(2,0)=%v,%v", w, ok)
+	}
+	if _, ok := g.Weight(1, 3); ok {
+		t.Fatal("nonexistent edge reported present")
+	}
+	if _, ok := g.Weight(1, 1); ok {
+		t.Fatal("self weight reported present")
+	}
+}
+
+func TestCutValueTriangle(t *testing.T) {
+	g := Complete(3)
+	// Any bipartition of a unit triangle cuts exactly 2 edges.
+	for _, spins := range [][]int8{{1, 1, -1}, {1, -1, 1}, {-1, 1, 1}, {-1, -1, 1}} {
+		if got := g.CutValue(spins); got != 2 {
+			t.Fatalf("triangle cut for %v = %v want 2", spins, got)
+		}
+	}
+	if got := g.CutValue([]int8{1, 1, 1}); got != 0 {
+		t.Fatalf("uncut triangle = %v", got)
+	}
+}
+
+func TestCutValueBitsMatchesSpins(t *testing.T) {
+	r := rng.New(1)
+	g := ErdosRenyi(12, 0.4, UniformWeights, r)
+	bits := make([]uint8, 12)
+	for i := range bits {
+		bits[i] = uint8(r.Intn(2))
+	}
+	spins := SpinsFromBits(bits)
+	if a, b := g.CutValueBits(bits), g.CutValue(spins); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("bit cut %v != spin cut %v", a, b)
+	}
+}
+
+func TestSpinBitRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		bits := make([]uint8, len(raw))
+		for i, b := range raw {
+			if b {
+				bits[i] = 1
+			}
+		}
+		back := BitsFromSpins(SpinsFromBits(bits))
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutComplementInvariance(t *testing.T) {
+	// Flipping every spin leaves the cut unchanged.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := ErdosRenyi(10, 0.5, UniformWeights, r)
+		spins := make([]int8, 10)
+		for i := range spins {
+			if r.Bool() {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		flipped := make([]int8, 10)
+		for i := range spins {
+			flipped[i] = -spins[i]
+		}
+		return math.Abs(g.CutValue(spins)-g.CutValue(flipped)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplacianProperties(t *testing.T) {
+	r := rng.New(2)
+	g := ErdosRenyi(8, 0.5, UniformWeights, r)
+	l := g.Laplacian()
+	// Row sums of a Laplacian are zero.
+	for i := 0; i < 8; i++ {
+		s := 0.0
+		for j := 0; j < 8; j++ {
+			s += l.At(i, j)
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("Laplacian row %d sums to %v", i, s)
+		}
+	}
+	// xᵀLx/4 equals the cut value for ±1 vectors.
+	spins := []int8{1, -1, 1, 1, -1, -1, 1, -1}
+	x := make([]float64, 8)
+	for i, s := range spins {
+		x[i] = float64(s)
+	}
+	y := make([]float64, 8)
+	l.MatVec(x, y)
+	quad := 0.0
+	for i := range x {
+		quad += x[i] * y[i]
+	}
+	if math.Abs(quad/4-g.CutValue(spins)) > 1e-9 {
+		t.Fatalf("xᵀLx/4=%v cut=%v", quad/4, g.CutValue(spins))
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(2, 3, 3)
+	g.MustAddEdge(3, 4, 4)
+	g.MustAddEdge(0, 4, 5)
+	sub, mapping, err := g.InducedSubgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("subgraph n=%d m=%d", sub.N(), sub.M())
+	}
+	if w, ok := sub.Weight(0, 1); !ok || w != 2 {
+		t.Fatalf("subgraph edge (1,2) weight=%v ok=%v", w, ok)
+	}
+	if w, ok := sub.Weight(1, 2); !ok || w != 3 {
+		t.Fatalf("subgraph edge (2,3) weight=%v ok=%v", w, ok)
+	}
+	if len(mapping) != 3 || mapping[0] != 1 || mapping[2] != 3 {
+		t.Fatalf("mapping=%v", mapping)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := New(3)
+	if _, _, err := g.InducedSubgraph([]int{0, 0}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]int{0, 7}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestContractSumsCrossEdges(t *testing.T) {
+	// Two groups {0,1} and {2,3} with cross edges 1-2 (w=2) and 0-3 (w=3).
+	g := New(4)
+	g.MustAddEdge(0, 1, 10) // internal, dropped
+	g.MustAddEdge(2, 3, 20) // internal, dropped
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 3, 3)
+	q, err := g.Contract([]int{0, 0, 1, 1}, 2, func(e Edge) float64 { return e.W })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N() != 2 || q.M() != 1 {
+		t.Fatalf("quotient n=%d m=%d", q.N(), q.M())
+	}
+	if w, _ := q.Weight(0, 1); w != 5 {
+		t.Fatalf("quotient weight=%v want 5", w)
+	}
+}
+
+func TestContractSignHook(t *testing.T) {
+	// The QAOA² merge flips the sign of cut edges; verify the hook.
+	g := New(4)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(1, 3, 1)
+	cut := map[[2]int]bool{{0, 2}: true} // edge 0-2 currently cut
+	q, err := g.Contract([]int{0, 0, 1, 1}, 2, func(e Edge) float64 {
+		if cut[[2]int{e.I, e.J}] {
+			return -e.W
+		}
+		return e.W
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := q.Weight(0, 1); w != 0 {
+		t.Fatalf("signed quotient weight=%v want 0 (+1 and -1 cancel)", w)
+	}
+	if q.M() != 1 {
+		t.Fatal("cancelled edge should still exist to preserve connectivity")
+	}
+}
+
+func TestContractValidation(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	if _, err := g.Contract([]int{0}, 1, func(e Edge) float64 { return e.W }); err == nil {
+		t.Fatal("short groupOf accepted")
+	}
+	if _, err := g.Contract([]int{0, 5}, 2, func(e Edge) float64 { return e.W }); err == nil {
+		t.Fatal("invalid group id accepted")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(4, 5, 1)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components=%v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("first component %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Fatalf("singleton component %v", comps[1])
+	}
+	if len(comps[2]) != 2 || comps[2][0] != 4 {
+		t.Fatalf("last component %v", comps[2])
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2, 1)
+	if g.M() != 1 || c.M() != 2 {
+		t.Fatalf("clone not independent: g.M=%d c.M=%d", g.M(), c.M())
+	}
+}
+
+func TestDensity(t *testing.T) {
+	if d := Complete(5).Density(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("K5 density=%v", d)
+	}
+	if d := New(5).Density(); d != 0 {
+		t.Fatalf("empty density=%v", d)
+	}
+	if d := New(1).Density(); d != 0 {
+		t.Fatalf("single-node density=%v", d)
+	}
+}
+
+func TestCutValuePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong assignment length")
+		}
+	}()
+	Complete(3).CutValue([]int8{1, 1})
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes g in a simple line-oriented format compatible with
+// common MaxCut instance collections:
+//
+//	n m
+//	i j w        (one line per edge, 0-based endpoints)
+//
+// It returns the number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "%d %d\n", g.n, len(g.edges))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, e := range g.edges {
+		n, err = fmt.Fprintf(bw, "%d %d %s\n", e.I, e.J, strconv.FormatFloat(e.W, 'g', -1, 64))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses the format produced by WriteTo. Lines starting with '#'
+// and blank lines are ignored.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	edgesWanted := -1
+	edgesSeen := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want header \"n m\", got %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node count: %v", lineNo, err)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge count: %v", lineNo, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header values", lineNo)
+			}
+			g = New(n)
+			edgesWanted = m
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want \"i j w\", got %q", lineNo, line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint: %v", lineNo, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint: %v", lineNo, err)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+		}
+		if err := g.AddEdge(i, j, w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		edgesSeen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if edgesSeen != edgesWanted {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", edgesWanted, edgesSeen)
+	}
+	return g, nil
+}

@@ -1,0 +1,168 @@
+package gw
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/linalg"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/sdp"
+)
+
+func TestGWFindsBipartiteOptimum(t *testing.T) {
+	// Bipartite graphs have a tight SDP, so GW's best rounding over 30
+	// hyperplanes recovers the full cut with overwhelming probability.
+	g := graph.Bipartite(4, 5)
+	res, err := Solve(g, Options{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value != 20 {
+		t.Fatalf("GW best on K_{4,5} = %v want 20", res.Best.Value)
+	}
+	if err := res.Best.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGWRespectsApproximationGuarantee(t *testing.T) {
+	// E[cut] ≥ 0.878·OPT; with 30 rounds the empirical average should
+	// comfortably clear a slightly relaxed 0.85 threshold vs brute force.
+	r := rng.New(2)
+	for trial := 0; trial < 5; trial++ {
+		g := graph.ErdosRenyi(14, 0.5, graph.UniformWeights, r)
+		if g.M() == 0 {
+			continue
+		}
+		opt, err := maxcut.BruteForce(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(g, Options{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Average < 0.85*opt.Value {
+			t.Fatalf("trial %d: GW average %v < 0.85·OPT (%v)", trial, res.Average, opt.Value)
+		}
+		if res.Best.Value > opt.Value+1e-9 {
+			t.Fatalf("trial %d: GW best %v exceeds optimum %v", trial, res.Best.Value, opt.Value)
+		}
+	}
+}
+
+func TestGWAverageAtMostBest(t *testing.T) {
+	r := rng.New(3)
+	g := graph.ErdosRenyi(20, 0.3, graph.Unweighted, r)
+	res, err := Solve(g, Options{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Average > res.Best.Value+1e-9 {
+		t.Fatalf("average %v above best %v", res.Average, res.Best.Value)
+	}
+	if res.Best.Value > res.SDPValue+1e-6 {
+		t.Fatalf("best %v above SDP bound %v", res.Best.Value, res.SDPValue)
+	}
+	if res.Rounds != DefaultRounds {
+		t.Fatalf("default rounds = %d", res.Rounds)
+	}
+}
+
+func TestGWDeterministicGivenSeed(t *testing.T) {
+	g := graph.ErdosRenyi(15, 0.4, graph.UniformWeights, rng.New(4))
+	a, err := Solve(g, Options{SDP: sdp.Options{Seed: 9}}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, Options{SDP: sdp.Options{Seed: 9}}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Average != b.Average || a.Best.Value != b.Best.Value {
+		t.Fatalf("GW not deterministic: %v/%v vs %v/%v", a.Average, a.Best.Value, b.Average, b.Best.Value)
+	}
+}
+
+func TestGWEmptyGraph(t *testing.T) {
+	res, err := Solve(graph.New(0), Options{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Average != 0 || res.Best.Value != 0 {
+		t.Fatalf("empty graph GW %+v", res)
+	}
+}
+
+func TestGWSingleEdge(t *testing.T) {
+	g := graph.Complete(2)
+	res, err := Solve(g, Options{Rounds: 10}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SDP embeds antipodally; every hyperplane separates them.
+	if res.Best.Value != 1 {
+		t.Fatalf("K2 best %v", res.Best.Value)
+	}
+	if math.Abs(res.Average-1) > 1e-9 {
+		t.Fatalf("K2 average %v want 1", res.Average)
+	}
+}
+
+func TestRoundTieBreak(t *testing.T) {
+	// A vector orthogonal to the hyperplane normal lands on +1.
+	v := linalg.NewMat(2, 2)
+	v.Set(0, 0, 1) // along normal
+	v.Set(1, 1, 1) // orthogonal to normal
+	spins := make([]int8, 2)
+	Round(v, []float64{1, 0}, spins)
+	if spins[0] != 1 || spins[1] != 1 {
+		t.Fatalf("rounding spins %v", spins)
+	}
+	Round(v, []float64{-1, 0}, spins)
+	if spins[0] != -1 {
+		t.Fatalf("negative projection should give -1, got %v", spins[0])
+	}
+}
+
+func TestGWCustomRoundsHonored(t *testing.T) {
+	g := graph.Complete(5)
+	res, err := Solve(g, Options{Rounds: 3}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d want 3", res.Rounds)
+	}
+}
+
+func TestGWLargeGraphViaMixing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large graph in -short mode")
+	}
+	r := rng.New(8)
+	g := graph.ErdosRenyi(300, 0.05, graph.Unweighted, r)
+	res, err := Solve(g, Options{SDP: sdp.Options{Method: sdp.Mixing, Seed: 2}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != sdp.Mixing {
+		t.Fatalf("expected mixing, got %v", res.Method)
+	}
+	if res.Best.Value < g.TotalWeight()/2 {
+		t.Fatalf("GW best %v below half weight %v", res.Best.Value, g.TotalWeight()/2)
+	}
+}
+
+func BenchmarkGW25(b *testing.B) {
+	g := graph.ErdosRenyi(25, 0.3, graph.Unweighted, rng.New(1))
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(g, Options{}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

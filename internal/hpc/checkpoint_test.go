@@ -1,0 +1,125 @@
+package hpc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSplitStepPreservesWork(t *testing.T) {
+	s := Step{Name: "solve", Req: Resources{Nodes: 4}, Duration: 12}
+	parts, err := SplitStep(s, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts %d", len(parts))
+	}
+	total := 0.0
+	for _, p := range parts {
+		if p.Req != s.Req {
+			t.Fatalf("slice requirement changed: %+v", p.Req)
+		}
+		total += p.Duration
+	}
+	// Work + 2 restarts.
+	if math.Abs(total-(12+2*0.5)) > 1e-12 {
+		t.Fatalf("total sliced duration %v", total)
+	}
+	if !strings.Contains(parts[1].Name, "[2/3]") {
+		t.Fatalf("slice naming %q", parts[1].Name)
+	}
+}
+
+func TestSplitStepValidation(t *testing.T) {
+	s := Step{Name: "x", Duration: 1}
+	if _, err := SplitStep(s, 0, 0); err == nil {
+		t.Fatal("zero slices accepted")
+	}
+	if _, err := SplitStep(s, 2, -1); err == nil {
+		t.Fatal("negative overhead accepted")
+	}
+	one, err := SplitStep(s, 1, 5)
+	if err != nil || len(one) != 1 || one[0] != s {
+		t.Fatalf("identity split broken: %v %v", one, err)
+	}
+}
+
+func TestSplitClassicalStepsKeepsQuantumIntact(t *testing.T) {
+	j := hybridJob("j", 0, false)
+	sliced, err := SplitClassicalSteps(j, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sliced.Heterogeneous {
+		t.Fatal("sliced job must be heterogeneous")
+	}
+	quantum := 0
+	for _, s := range sliced.Steps {
+		if s.Req.QPUs > 0 {
+			quantum++
+			if strings.Contains(s.Name, "[") {
+				t.Fatalf("quantum step was split: %q", s.Name)
+			}
+		}
+	}
+	if quantum != 1 {
+		t.Fatalf("quantum steps %d", quantum)
+	}
+	// prep(2) + qaoa(1) + post(2) = 5 steps.
+	if len(sliced.Steps) != 5 {
+		t.Fatalf("steps %d want 5", len(sliced.Steps))
+	}
+}
+
+func TestCheckpointingAlignsResourceUsage(t *testing.T) {
+	// One node pool shared by two het jobs whose classical preps are so
+	// long that the second job's QPU phase waits; slicing the classical
+	// work cannot hurt the makespan (modulo overhead) and the schedule
+	// stays feasible.
+	cluster := Resources{Nodes: 4, QPUs: 1}
+	base := []Job{hybridJob("a", 0, true), hybridJob("b", 0, true)}
+	plain, err := Simulate(cluster, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sliced []Job
+	for _, j := range base {
+		sj, err := SplitClassicalSteps(j, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sliced = append(sliced, sj)
+	}
+	slicedM, err := Simulate(cluster, sliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNoOversubscription(cluster, slicedM.Records); err != nil {
+		t.Fatal(err)
+	}
+	if slicedM.Makespan > plain.Makespan+1e-9 {
+		t.Fatalf("zero-overhead slicing worsened makespan: %v vs %v", slicedM.Makespan, plain.Makespan)
+	}
+	// QPU useful time identical: slicing touches classical parts only.
+	if math.Abs(slicedM.QPUBusyTime-plain.QPUBusyTime) > 1e-9 {
+		t.Fatalf("slicing changed quantum work: %v vs %v", slicedM.QPUBusyTime, plain.QPUBusyTime)
+	}
+}
+
+func TestCheckpointOverheadAccounted(t *testing.T) {
+	cluster := Resources{Nodes: 2}
+	j := Job{Name: "c", Steps: []Step{{Name: "s", Req: Resources{Nodes: 2}, Duration: 10}}}
+	sliced, err := SplitClassicalSteps(j, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Simulate(cluster, []Job{sliced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 work + 4 restarts.
+	if math.Abs(m.Makespan-14) > 1e-9 {
+		t.Fatalf("makespan %v want 14", m.Makespan)
+	}
+}

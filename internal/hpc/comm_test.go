@@ -1,0 +1,174 @@
+package hpc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("zero-rank world accepted")
+	}
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 3 {
+		t.Fatalf("size %d", w.Size())
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, "ping", 4)
+			v, src := c.Recv(1, 8)
+			if v.(string) != "pong" || src != 1 {
+				t.Errorf("rank0 got %v from %d", v, src)
+			}
+		case 1:
+			v, src := c.Recv(0, 7)
+			if v.(string) != "ping" || src != 0 {
+				t.Errorf("rank1 got %v from %d", v, src)
+			}
+			c.Send(0, 8, "pong", 4)
+		}
+	})
+	stats := w.Stats()
+	if stats.Messages != 2 || stats.Bytes != 8 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestRecvBuffersOutOfOrderTags(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, "first", 0)
+			c.Send(1, 2, "second", 0)
+		case 1:
+			// Receive in reverse tag order; tag-1 message must be
+			// buffered, not lost.
+			v2, _ := c.Recv(0, 2)
+			v1, _ := c.Recv(0, 1)
+			if v1.(string) != "first" || v2.(string) != "second" {
+				t.Errorf("got %v %v", v1, v2)
+			}
+		}
+	})
+}
+
+func TestAnySource(t *testing.T) {
+	w, _ := NewWorld(4)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				v, src := c.Recv(AnySource, 5)
+				if v.(int) != src*10 {
+					t.Errorf("payload %v from %d", v, src)
+				}
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("sources %v", seen)
+			}
+			return
+		}
+		c.Send(0, 5, c.Rank()*10, 8)
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w, _ := NewWorld(5)
+	var sum atomic.Int64
+	w.Run(func(c *Comm) {
+		var v interface{}
+		if c.Rank() == 2 {
+			v = 42
+		}
+		got := c.Bcast(2, v, 8)
+		sum.Add(int64(got.(int)))
+	})
+	if sum.Load() != 5*42 {
+		t.Fatalf("bcast sum %d", sum.Load())
+	}
+}
+
+func TestGather(t *testing.T) {
+	w, _ := NewWorld(4)
+	w.Run(func(c *Comm) {
+		vals := c.Gather(0, c.Rank()*c.Rank(), 8)
+		if c.Rank() == 0 {
+			for r := 0; r < 4; r++ {
+				if vals[r].(int) != r*r {
+					t.Errorf("gather[%d] = %v", r, vals[r])
+				}
+			}
+		} else if vals != nil {
+			t.Errorf("non-root got %v", vals)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w, _ := NewWorld(8)
+	var before, violations atomic.Int64
+	w.Run(func(c *Comm) {
+		before.Add(1)
+		c.Barrier()
+		// After the barrier every rank must observe all 8 arrivals.
+		if before.Load() != 8 {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Fatalf("%d ranks passed the barrier early", violations.Load())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w, _ := NewWorld(4)
+	var counter atomic.Int64
+	w.Run(func(c *Comm) {
+		for round := 1; round <= 3; round++ {
+			counter.Add(1)
+			c.Barrier()
+			if got := counter.Load(); got != int64(4*round) {
+				t.Errorf("round %d: counter %d", round, got)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic not propagated")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("worker exploded")
+		}
+	})
+}
+
+func TestSendValidatesRank(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid rank accepted")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(5, 1, nil, 0)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package hpc
+
+import (
+	"math"
+	"testing"
+)
+
+// hybridJob builds the paper's canonical job shape: classical
+// preparation, a quantum phase, classical post-processing.
+func hybridJob(name string, submit float64, het bool) Job {
+	return Job{
+		Name:          name,
+		Submit:        submit,
+		Heterogeneous: het,
+		Steps: []Step{
+			{Name: "prep", Req: Resources{Nodes: 2}, Duration: 6},
+			{Name: "qaoa", Req: Resources{QPUs: 1}, Duration: 2},
+			{Name: "post", Req: Resources{Nodes: 2}, Duration: 4},
+		},
+	}
+}
+
+func TestSimulateSingleJob(t *testing.T) {
+	m, err := Simulate(Resources{Nodes: 4, QPUs: 1}, []Job{hybridJob("j1", 0, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Makespan-12) > 1e-9 {
+		t.Fatalf("makespan %v want 12", m.Makespan)
+	}
+	if math.Abs(m.QPUBusyTime-2) > 1e-9 {
+		t.Fatalf("QPU busy %v want 2", m.QPUBusyTime)
+	}
+	if len(m.Records) != 3 {
+		t.Fatalf("records %v", m.Records)
+	}
+	if err := VerifyNoOversubscription(Resources{Nodes: 4, QPUs: 1}, m.Records); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonolithicHoldsAllResources(t *testing.T) {
+	m, err := Simulate(Resources{Nodes: 4, QPUs: 1}, []Job{hybridJob("j1", 0, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Records) != 1 {
+		t.Fatalf("monolithic job should be one allocation, got %d", len(m.Records))
+	}
+	rec := m.Records[0]
+	if rec.Res.Nodes != 2 || rec.Res.QPUs != 1 {
+		t.Fatalf("monolithic allocation %+v want max over steps", rec.Res)
+	}
+	// QPU is held for the full 12 units but computes for only 2.
+	if math.Abs(m.QPUHeldTime-12) > 1e-9 {
+		t.Fatalf("monolithic QPU hold %v want 12", m.QPUHeldTime)
+	}
+	if math.Abs(m.QPUBusyTime-2) > 1e-9 {
+		t.Fatalf("monolithic QPU useful time %v want 2", m.QPUBusyTime)
+	}
+}
+
+func TestHeterogeneousJobsReduceQPUIdle(t *testing.T) {
+	// The Fig. 1 claim: with het jobs, a second job can use the QPU
+	// while the first still runs classically.
+	cluster := Resources{Nodes: 4, QPUs: 1}
+	jobs := func(het bool) []Job {
+		return []Job{hybridJob("j1", 0, het), hybridJob("j2", 0, het)}
+	}
+	mono, err := Simulate(cluster, jobs(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := Simulate(cluster, jobs(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if het.QPUIdleFrac >= mono.QPUIdleFrac {
+		t.Fatalf("het idle %v not below monolithic idle %v", het.QPUIdleFrac, mono.QPUIdleFrac)
+	}
+	if het.Makespan > mono.Makespan+1e-9 {
+		t.Fatalf("het makespan %v worse than monolithic %v", het.Makespan, mono.Makespan)
+	}
+	// Monolithic jobs serialize on the exclusive QPU: makespan 24.
+	if math.Abs(mono.Makespan-24) > 1e-9 {
+		t.Fatalf("monolithic makespan %v want 24", mono.Makespan)
+	}
+	// Het jobs overlap: both classical preps run at once (4 nodes), the
+	// QPU phases serialize briefly: makespan 12+2 = 14 at worst.
+	if het.Makespan > 15 {
+		t.Fatalf("het makespan %v want ≤ 15", het.Makespan)
+	}
+	for _, m := range []*Metrics{mono, het} {
+		if err := VerifyNoOversubscription(cluster, m.Records); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBackfillLetsSmallJobsJump(t *testing.T) {
+	// A wide job occupies all nodes; a QPU-only job must backfill and
+	// run immediately rather than waiting behind it.
+	cluster := Resources{Nodes: 2, QPUs: 1}
+	jobs := []Job{
+		{Name: "wide", Submit: 0, Steps: []Step{{Name: "c", Req: Resources{Nodes: 2}, Duration: 10}}},
+		{Name: "wide2", Submit: 0, Steps: []Step{{Name: "c", Req: Resources{Nodes: 2}, Duration: 10}}},
+		{Name: "qpu", Submit: 0, Steps: []Step{{Name: "q", Req: Resources{QPUs: 1}, Duration: 1}}},
+	}
+	m, err := Simulate(cluster, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m.Records {
+		if r.Job == "qpu" && r.Start > 1e-9 {
+			t.Fatalf("QPU job did not backfill: start %v", r.Start)
+		}
+	}
+}
+
+func TestFIFOAmongEqualJobs(t *testing.T) {
+	cluster := Resources{Nodes: 1}
+	jobs := []Job{
+		{Name: "a", Submit: 0, Steps: []Step{{Name: "s", Req: Resources{Nodes: 1}, Duration: 5}}},
+		{Name: "b", Submit: 1, Steps: []Step{{Name: "s", Req: Resources{Nodes: 1}, Duration: 5}}},
+		{Name: "c", Submit: 2, Steps: []Step{{Name: "s", Req: Resources{Nodes: 1}, Duration: 5}}},
+	}
+	m, err := Simulate(cluster, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[string]float64{}
+	for _, r := range m.Records {
+		starts[r.Job] = r.Start
+	}
+	if !(starts["a"] < starts["b"] && starts["b"] < starts["c"]) {
+		t.Fatalf("FIFO violated: %v", starts)
+	}
+	if m.Makespan != 15 {
+		t.Fatalf("makespan %v", m.Makespan)
+	}
+}
+
+func TestLateSubmitHonored(t *testing.T) {
+	cluster := Resources{Nodes: 1}
+	jobs := []Job{
+		{Name: "late", Submit: 100, Steps: []Step{{Name: "s", Req: Resources{Nodes: 1}, Duration: 1}}},
+	}
+	m, err := Simulate(cluster, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Records[0].Start < 100 {
+		t.Fatalf("job started before submission: %v", m.Records[0].Start)
+	}
+	if m.Makespan != 101 {
+		t.Fatalf("makespan %v", m.Makespan)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Resources{Nodes: 1}, []Job{{Name: "empty"}}); err == nil {
+		t.Fatal("job with no steps accepted")
+	}
+	big := Job{Name: "big", Steps: []Step{{Name: "s", Req: Resources{Nodes: 9}, Duration: 1}}}
+	if _, err := Simulate(Resources{Nodes: 1}, []Job{big}); err == nil {
+		t.Fatal("unsatisfiable job accepted")
+	}
+	neg := Job{Name: "neg", Steps: []Step{{Name: "s", Req: Resources{Nodes: 1}, Duration: -1}}}
+	if _, err := Simulate(Resources{Nodes: 1}, []Job{neg}); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := Simulate(Resources{Nodes: -1}, nil); err == nil {
+		t.Fatal("negative cluster accepted")
+	}
+}
+
+func TestEmptyJobList(t *testing.T) {
+	m, err := Simulate(Resources{Nodes: 2, QPUs: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != 0 || len(m.Records) != 0 {
+		t.Fatalf("empty metrics %+v", m)
+	}
+}
+
+func TestManyJobsThroughput(t *testing.T) {
+	// 20 het jobs on a 2-QPU, 8-node cluster; verify invariants at scale.
+	cluster := Resources{Nodes: 8, QPUs: 2}
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, hybridJob("j", float64(i), true))
+	}
+	m, err := Simulate(cluster, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNoOversubscription(cluster, m.Records); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Records) != 60 {
+		t.Fatalf("records %d want 60", len(m.Records))
+	}
+	// QPU busy must equal 20 jobs × 2 units.
+	if math.Abs(m.QPUBusyTime-40) > 1e-9 {
+		t.Fatalf("QPU busy %v want 40", m.QPUBusyTime)
+	}
+}
+
+func TestVerifyCatchesOversubscription(t *testing.T) {
+	bad := []StepRecord{
+		{Job: "a", Start: 0, End: 10, Res: Resources{Nodes: 1}},
+		{Job: "b", Start: 5, End: 15, Res: Resources{Nodes: 1}},
+	}
+	if err := VerifyNoOversubscription(Resources{Nodes: 1}, bad); err == nil {
+		t.Fatal("oversubscription not detected")
+	}
+	// Back-to-back allocation at the same instant is legal.
+	ok := []StepRecord{
+		{Job: "a", Start: 0, End: 5, Res: Resources{Nodes: 1}},
+		{Job: "b", Start: 5, End: 10, Res: Resources{Nodes: 1}},
+	}
+	if err := VerifyNoOversubscription(Resources{Nodes: 1}, ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulate100HetJobs(b *testing.B) {
+	cluster := Resources{Nodes: 16, QPUs: 4}
+	var jobs []Job
+	for i := 0; i < 100; i++ {
+		jobs = append(jobs, hybridJob("j", float64(i%10), true))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cluster, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package hpc
+
+import (
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/qaoa2"
+	"qaoa2/internal/rng"
+)
+
+func TestCoordinatedSolveExactLeaves(t *testing.T) {
+	r := rng.New(1)
+	g := graph.ErdosRenyi(40, 0.15, graph.Unweighted, r)
+	res, err := CoordinatedSolve(g, CoordinatedOptions{
+		Workers:     3,
+		MaxQubits:   8,
+		Solver:      qaoa2.ExactSolver{},
+		MergeSolver: qaoa2.ExactSolver{},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cut.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if res.SubGraphs < 2 {
+		t.Fatalf("sub-graphs %d", res.SubGraphs)
+	}
+	if len(res.Assignments) != res.SubGraphs {
+		t.Fatalf("assignments %d for %d sub-graphs", len(res.Assignments), res.SubGraphs)
+	}
+	if res.Comm.Messages == 0 {
+		t.Fatal("no messages recorded")
+	}
+}
+
+func TestCoordinatedMatchesInProcessQAOA2(t *testing.T) {
+	// With deterministic sub-solvers and index-derived seeds, the
+	// coordinated run must produce exactly the cut of the in-process
+	// qaoa2.Solve using identical partitioning and seeding.
+	r := rng.New(2)
+	g := graph.ErdosRenyi(36, 0.2, graph.Unweighted, r)
+	coord, err := CoordinatedSolve(g, CoordinatedOptions{
+		Workers:     4,
+		MaxQubits:   7,
+		Solver:      qaoa2.ExactSolver{},
+		MergeSolver: qaoa2.ExactSolver{},
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact solvers ignore randomness, so both paths yield optimal
+	// sub-cuts; merge uses the same exact solver.
+	direct, err := qaoa2.Solve(g, qaoa2.Options{
+		MaxQubits: 7, Solver: qaoa2.ExactSolver{}, MergeSolver: qaoa2.ExactSolver{}, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord.Cut.Value != direct.Cut.Value {
+		t.Fatalf("coordinated %v != direct %v", coord.Cut.Value, direct.Cut.Value)
+	}
+}
+
+func TestCoordinatedSingleWorker(t *testing.T) {
+	r := rng.New(3)
+	g := graph.ErdosRenyi(30, 0.2, graph.Unweighted, r)
+	res, err := CoordinatedSolve(g, CoordinatedOptions{
+		Workers:     1,
+		MaxQubits:   8,
+		Solver:      qaoa2.GWSolver{},
+		MergeSolver: qaoa2.ExactSolver{},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cut.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerBusy) != 1 {
+		t.Fatalf("worker busy %v", res.WorkerBusy)
+	}
+}
+
+func TestCoordinatedDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The cut must not depend on how many workers processed the parts
+	// (per-part seeding): run with 1 and 5 workers and compare.
+	r := rng.New(4)
+	g := graph.ErdosRenyi(32, 0.2, graph.Unweighted, r)
+	values := map[int]float64{}
+	for _, workers := range []int{1, 5} {
+		res, err := CoordinatedSolve(g, CoordinatedOptions{
+			Workers:     workers,
+			MaxQubits:   6,
+			Solver:      qaoa2.GWSolver{},
+			MergeSolver: qaoa2.GWSolver{},
+			Seed:        11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[workers] = res.Cut.Value
+	}
+	if values[1] != values[5] {
+		t.Fatalf("placement-dependent result: %v", values)
+	}
+}
+
+func TestDensityPolicyRoutes(t *testing.T) {
+	quantum := qaoa2.ExactSolver{}
+	classical := qaoa2.GWSolver{}
+	policy := DensityPolicy(0.5, quantum, classical)
+	sparse := graph.Path(10) // density 9/45 = 0.2
+	if got := policy(sparse); got.Name() != "exact" {
+		t.Fatalf("sparse routed to %s", got.Name())
+	}
+	dense := graph.Complete(6) // density 1
+	if got := policy(dense); got.Name() != "gw" {
+		t.Fatalf("dense routed to %s", got.Name())
+	}
+}
+
+func TestCoordinatedWithPolicyMixesSolvers(t *testing.T) {
+	r := rng.New(5)
+	// Planted communities: dense blobs, sparse cross wiring → after
+	// partitioning, sub-graphs are dense (blobs) while the policy
+	// threshold splits them from any sparse leftovers.
+	g, _ := graph.PlantedCommunities(4, 6, 0.9, 0.05, graph.Unweighted, r)
+	res, err := CoordinatedSolve(g, CoordinatedOptions{
+		Workers:   2,
+		MaxQubits: 8,
+		Policy: DensityPolicy(0.5,
+			qaoa2.ExactSolver{},
+			qaoa2.GWSolver{}),
+		MergeSolver: qaoa2.ExactSolver{},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cut.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// All assignments must be one of the two policy outputs.
+	for _, name := range res.Assignments {
+		if name != "exact" && name != "gw" {
+			t.Fatalf("unexpected solver %q", name)
+		}
+	}
+}
+
+func TestCoordinatedBeatsRandom(t *testing.T) {
+	r := rng.New(6)
+	g := graph.ErdosRenyi(48, 0.15, graph.Unweighted, r)
+	res, err := CoordinatedSolve(g, CoordinatedOptions{
+		Workers:     3,
+		MaxQubits:   10,
+		Solver:      qaoa2.GWSolver{},
+		MergeSolver: qaoa2.GWSolver{},
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := maxcut.RandomCut(g, 1, rng.New(7))
+	if res.Cut.Value <= random.Value {
+		t.Fatalf("coordinated %v not above random %v", res.Cut.Value, random.Value)
+	}
+}

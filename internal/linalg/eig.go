@@ -1,0 +1,194 @@
+package linalg
+
+import "math"
+
+// EigSym computes the full eigendecomposition A = V diag(w) Vᵀ of a
+// symmetric matrix using the cyclic Jacobi method. It returns the
+// eigenvalues w (ascending) and the matrix V whose COLUMNS are the
+// corresponding eigenvectors.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable and accurate for
+// the modest orders (n ≲ a few hundred) used by the ADMM SDP solver; the
+// large-graph path uses the factorization-free mixing method instead.
+func EigSym(a *Dense) (w []float64, v *Dense) {
+	n := a.N
+	m := a.Clone()
+	m.Symmetrize()
+	v = Identity(n)
+
+	const maxSweeps = 100
+	// Convergence threshold relative to the matrix magnitude.
+	scale := m.FrobeniusNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	tol := 1e-13 * scale
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := m.MaxAbsOffDiag()
+		if off <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) <= tol/float64(n) {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				// Rotation angle that annihilates A_pq.
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m.At(i, i)
+	}
+	sortEig(w, v)
+	return w, v
+}
+
+// sortEig reorders eigenvalues ascending and permutes the eigenvector
+// columns to match, using insertion sort (n is small and the data is
+// nearly sorted after Jacobi).
+func sortEig(w []float64, v *Dense) {
+	n := len(w)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && w[j] < w[j-1]; j-- {
+			w[j], w[j-1] = w[j-1], w[j]
+			for k := 0; k < n; k++ {
+				a := v.At(k, j)
+				b := v.At(k, j-1)
+				v.Set(k, j, b)
+				v.Set(k, j-1, a)
+			}
+		}
+	}
+}
+
+// ProjectPSD overwrites a with its projection onto the positive
+// semidefinite cone (negative eigenvalues clipped to zero). This is the
+// core primitive of the ADMM SDP solver.
+func ProjectPSD(a *Dense) {
+	n := a.N
+	w, v := EigSym(a)
+	// A_psd = V diag(max(w,0)) Vᵀ; skip the all-nonnegative case.
+	allNonNeg := true
+	for _, wi := range w {
+		if wi < 0 {
+			allNonNeg = false
+			break
+		}
+	}
+	if allNonNeg {
+		a.Symmetrize()
+		return
+	}
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		if w[k] <= 0 {
+			continue
+		}
+		wk := w[k]
+		for i := 0; i < n; i++ {
+			vik := v.At(i, k)
+			if vik == 0 {
+				continue
+			}
+			f := wk * vik
+			for j := 0; j < n; j++ {
+				a.Data[i*n+j] += f * v.At(j, k)
+			}
+		}
+	}
+	a.Symmetrize()
+}
+
+// GramFactor returns a rectangular matrix F (n rows) such that F Fᵀ ≈ A
+// for a positive semidefinite A, using the eigendecomposition (columns
+// scaled by sqrt of the clipped eigenvalues). Row i of F is the
+// unit-ball embedding vector of SDP variable i, which is exactly what GW
+// hyperplane rounding consumes. The number of columns equals the number
+// of strictly positive eigenvalues (at least 1).
+func GramFactor(a *Dense) *Mat {
+	n := a.N
+	w, v := EigSym(a)
+	// Count positive eigenvalues (clip tiny negatives from round-off).
+	tol := 1e-10 * math.Max(1, math.Abs(w[n-1]))
+	cols := 0
+	for _, wi := range w {
+		if wi > tol {
+			cols++
+		}
+	}
+	if cols == 0 {
+		cols = 1 // degenerate all-zero matrix: embed everything at origin
+	}
+	f := NewMat(n, cols)
+	c := 0
+	for k := 0; k < n; k++ {
+		if w[k] <= tol {
+			continue
+		}
+		s := math.Sqrt(w[k])
+		for i := 0; i < n; i++ {
+			f.Data[i*cols+c] = s * v.At(i, k)
+		}
+		c++
+	}
+	return f
+}
+
+// Cholesky computes the lower-triangular factor L with L Lᵀ = A for a
+// symmetric positive definite A. It returns false if A is not positive
+// definite (within jitter tolerance).
+func Cholesky(a *Dense) (*Dense, bool) {
+	n := a.N
+	l := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, true
+}

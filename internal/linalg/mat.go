@@ -1,0 +1,43 @@
+package linalg
+
+// Mat is a rectangular row-major matrix. It complements the square Dense
+// type for factor matrices (Gram embeddings, Burer-Monteiro iterates).
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j]
+}
+
+// NewMat allocates an r-by-c zero matrix.
+func NewMat(r, c int) *Mat {
+	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// Row returns a view of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns M_ij.
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns M_ij = v.
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Gram returns the square matrix G = M Mᵀ (order Rows).
+func (m *Mat) Gram() *Dense {
+	g := NewDense(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j := i; j < m.Rows; j++ {
+			v := Dot(ri, m.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,137 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/rng"
+)
+
+func TestKernighanLinRecoversPlantedSplit(t *testing.T) {
+	// Two 4-cliques joined by one edge; start from a deliberately bad
+	// bipartition mixing the cliques.
+	g := graph.New(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.MustAddEdge(i, j, 1)
+			g.MustAddEdge(i+4, j+4, 1)
+		}
+	}
+	g.MustAddEdge(3, 4, 1)
+	badA := []int{0, 1, 4, 5}
+	badB := []int{2, 3, 6, 7}
+	before := CrossWeight(g, badA, badB)
+	a, b, err := KernighanLin(g, badA, badB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := CrossWeight(g, a, b)
+	if after >= before {
+		t.Fatalf("KL did not improve: %v -> %v", before, after)
+	}
+	if after != 1 {
+		t.Fatalf("KL cross weight %v want 1 (the bridge)", after)
+	}
+	// Sides must be the two cliques.
+	sort.Ints(a)
+	sort.Ints(b)
+	if a[0] > b[0] {
+		a, b = b, a
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("side A %v", a)
+		}
+	}
+}
+
+func TestKernighanLinPreservesMembership(t *testing.T) {
+	r := rng.New(1)
+	g := graph.ErdosRenyi(20, 0.3, graph.UniformWeights, r)
+	var a, b []int
+	for v := 0; v < 20; v++ {
+		if v%2 == 0 {
+			a = append(a, v)
+		} else {
+			b = append(b, v)
+		}
+	}
+	ra, rb, err := KernighanLin(g, a, b, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra)+len(rb) != 20 {
+		t.Fatalf("lost nodes: %d + %d", len(ra), len(rb))
+	}
+	seen := make([]bool, 20)
+	for _, v := range append(append([]int(nil), ra...), rb...) {
+		if seen[v] {
+			t.Fatalf("node %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	// Balance within one node of half.
+	if len(ra) < 9 || len(ra) > 11 {
+		t.Fatalf("balance broken: %d/%d", len(ra), len(rb))
+	}
+}
+
+func TestKernighanLinNeverWorsens(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.ErdosRenyi(16, 0.4, graph.UniformWeights, r)
+		perm := r.Perm(16)
+		a, b := perm[:8], perm[8:]
+		before := CrossWeight(g, a, b)
+		ra, rb, err := KernighanLin(g, a, b, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after := CrossWeight(g, ra, rb); after > before+1e-9 {
+			t.Fatalf("trial %d: KL worsened %v -> %v", trial, before, after)
+		}
+	}
+}
+
+func TestKernighanLinValidation(t *testing.T) {
+	g := graph.Complete(4)
+	if _, _, err := KernighanLin(g, []int{0, 9}, []int{1}, 2); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, _, err := KernighanLin(g, []int{0, 1}, []int{1, 2}, 2); err == nil {
+		t.Fatal("overlapping sides accepted")
+	}
+	a, b, err := KernighanLin(g, nil, nil, 2)
+	if err != nil || a != nil || b != nil {
+		t.Fatalf("empty bipartition: %v %v %v", a, b, err)
+	}
+}
+
+func TestKernighanLinOnSubsetOfGraph(t *testing.T) {
+	// KL over a strict subset must ignore edges to outside nodes.
+	g := graph.Complete(6)
+	a, b, err := KernighanLin(g, []int{0, 1}, []int{2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a)+len(b) != 4 {
+		t.Fatalf("subset membership changed: %v %v", a, b)
+	}
+	for _, v := range append(append([]int(nil), a...), b...) {
+		if v > 3 {
+			t.Fatalf("outside node %d pulled in", v)
+		}
+	}
+}
+
+func TestCrossWeight(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 2, 1.5)
+	g.MustAddEdge(1, 3, 2.5)
+	g.MustAddEdge(0, 1, 9) // internal to side A
+	if w := CrossWeight(g, []int{0, 1}, []int{2, 3}); w != 4 {
+		t.Fatalf("cross weight %v want 4", w)
+	}
+}

@@ -1,0 +1,261 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/rng"
+)
+
+func TestModularityKnownValues(t *testing.T) {
+	// Two triangles joined by one edge; the natural split has
+	// Q = 2·(6/26 − (7/26)²) ≈ 0.3565.
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(3, 5, 1)
+	g.MustAddEdge(2, 3, 1)
+	q, err := Modularity(g, [][]int{{0, 1, 2}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (6.0/14 - math.Pow(7.0/14, 2))
+	if math.Abs(q-want) > 1e-12 {
+		t.Fatalf("modularity %v want %v", q, want)
+	}
+	// Everything in one community: Q = Σin/2m − 1 = 0 for... compute:
+	// Σin/2m = 1, Σtot/2m = 1 → Q = 1 − 1 = 0.
+	q1, err := Modularity(g, [][]int{{0, 1, 2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q1) > 1e-12 {
+		t.Fatalf("single-community modularity %v want 0", q1)
+	}
+}
+
+func TestModularityValidation(t *testing.T) {
+	g := graph.Complete(3)
+	if _, err := Modularity(g, [][]int{{0, 1}}); err == nil {
+		t.Fatal("missing node accepted")
+	}
+	if _, err := Modularity(g, [][]int{{0, 1, 2}, {1}}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := Modularity(g, [][]int{{0, 1, 2, 5}}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestModularityEdgeless(t *testing.T) {
+	g := graph.New(3)
+	q, err := Modularity(g, [][]int{{0}, {1}, {2}})
+	if err != nil || q != 0 {
+		t.Fatalf("edgeless modularity %v err=%v", q, err)
+	}
+}
+
+func TestGreedyModularityFindsPlantedCommunities(t *testing.T) {
+	r := rng.New(7)
+	g, truth := graph.PlantedCommunities(3, 8, 0.9, 0.02, graph.Unweighted, r)
+	comms := GreedyModularity(g)
+	if len(comms) != 3 {
+		t.Fatalf("found %d communities, want 3: %v", len(comms), comms)
+	}
+	// Each found community must be pure w.r.t. the planted labels.
+	for _, c := range comms {
+		label := truth[c[0]]
+		for _, v := range c {
+			if truth[v] != label {
+				t.Fatalf("mixed community %v", c)
+			}
+		}
+	}
+}
+
+func TestGreedyModularityTwoTriangles(t *testing.T) {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(3, 5, 1)
+	g.MustAddEdge(2, 3, 1)
+	comms := GreedyModularity(g)
+	if len(comms) != 2 {
+		t.Fatalf("communities: %v", comms)
+	}
+	if comms[0][0] != 0 || len(comms[0]) != 3 || len(comms[1]) != 3 {
+		t.Fatalf("unexpected split: %v", comms)
+	}
+}
+
+func TestGreedyModularityCoversAllNodesOnce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := graph.ErdosRenyi(30, 0.15, graph.UniformWeights, r)
+		comms := GreedyModularity(g)
+		seen := make([]bool, 30)
+		for _, c := range comms {
+			for _, v := range c {
+				if v < 0 || v >= 30 || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyModularityImprovesOverSingletons(t *testing.T) {
+	r := rng.New(9)
+	g, _ := graph.PlantedCommunities(4, 6, 0.8, 0.05, graph.Unweighted, r)
+	comms := GreedyModularity(g)
+	q, err := Modularity(g, comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singletons := make([][]int, g.N())
+	for i := range singletons {
+		singletons[i] = []int{i}
+	}
+	q0, err := Modularity(g, singletons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q <= q0 {
+		t.Fatalf("CNM modularity %v not above singleton %v", q, q0)
+	}
+}
+
+func TestGreedyModularityEdgelessAndEmpty(t *testing.T) {
+	if got := GreedyModularity(graph.New(0)); got != nil {
+		t.Fatalf("empty graph: %v", got)
+	}
+	comms := GreedyModularity(graph.New(4))
+	if len(comms) != 4 {
+		t.Fatalf("edgeless graph: %v", comms)
+	}
+}
+
+func TestSizeCappedRespectsCap(t *testing.T) {
+	r := rng.New(11)
+	for _, cap := range []int{5, 10, 16} {
+		g := graph.ErdosRenyi(60, 0.1, graph.Unweighted, r)
+		parts, err := SizeCapped(g, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, 60)
+		for _, p := range parts {
+			if len(p) > cap {
+				t.Fatalf("cap %d violated: part of size %d", cap, len(p))
+			}
+			if len(p) == 0 {
+				t.Fatal("empty part")
+			}
+			for _, v := range p {
+				if seen[v] {
+					t.Fatalf("node %d duplicated", v)
+				}
+				seen[v] = true
+			}
+		}
+		for v, s := range seen {
+			if !s {
+				t.Fatalf("node %d missing", v)
+			}
+		}
+	}
+}
+
+func TestSizeCappedOnCompleteGraph(t *testing.T) {
+	// K20 has no community structure; the bisection fallback must still
+	// produce a legal partition.
+	parts, err := SizeCapped(graph.Complete(20), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		if len(p) > 6 {
+			t.Fatalf("oversized part %v", p)
+		}
+		total += len(p)
+	}
+	if total != 20 {
+		t.Fatalf("nodes covered %d", total)
+	}
+}
+
+func TestSizeCappedSmallGraphSinglePart(t *testing.T) {
+	g := graph.Complete(4)
+	parts, err := SizeCapped(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || len(parts[0]) != 4 {
+		t.Fatalf("parts %v", parts)
+	}
+}
+
+func TestSizeCappedValidation(t *testing.T) {
+	if _, err := SizeCapped(graph.Complete(3), 0); err == nil {
+		t.Fatal("zero cap accepted")
+	}
+}
+
+func TestSizeCappedLargeSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large graph in -short mode")
+	}
+	r := rng.New(13)
+	g := graph.ErdosRenyi(500, 0.1, graph.Unweighted, r)
+	parts, err := SizeCapped(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		if len(p) > 16 {
+			t.Fatalf("cap violated: %d", len(p))
+		}
+		total += len(p)
+	}
+	if total != 500 {
+		t.Fatalf("covered %d/500", total)
+	}
+}
+
+func BenchmarkGreedyModularity200(b *testing.B) {
+	g := graph.ErdosRenyi(200, 0.05, graph.Unweighted, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyModularity(g)
+	}
+}
+
+func BenchmarkSizeCapped500(b *testing.B) {
+	g := graph.ErdosRenyi(500, 0.1, graph.Unweighted, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SizeCapped(g, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package qaoa2
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/partition"
+	"qaoa2/internal/rng"
+)
+
+// Options configures Solve.
+type Options struct {
+	// MaxQubits is the sub-graph node cap n — the size of the quantum
+	// device (default 16).
+	MaxQubits int
+	// Solver handles first-level sub-graphs (default QAOA with paper
+	// defaults). The paper's run-time decision mechanism plugs in
+	// GWSolver or BestOfSolver here.
+	Solver SubSolver
+	// MergeSolver handles merge graphs on every recursion level
+	// (default: same as Solver). The paper chooses the classical
+	// solution for further iterations in the Fig. 4 runs.
+	MergeSolver SubSolver
+	// Parallelism bounds concurrent sub-graph solves (default
+	// GOMAXPROCS), standing in for the pool of simulated quantum
+	// devices / classical nodes of Fig. 2.
+	Parallelism int
+	// Partition overrides the greedy-modularity division with an
+	// explicit node grouping (each part ≤ MaxQubits, disjoint cover of
+	// all nodes). The partition-method ablation and custom drivers use
+	// this hook; nil selects the paper's partitioner.
+	Partition [][]int
+	// Seed derives the per-sub-graph deterministic random streams.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQubits <= 0 {
+		o.MaxQubits = 16
+	}
+	if o.Solver == nil {
+		o.Solver = QAOASolver{}
+	}
+	if o.MergeSolver == nil {
+		o.MergeSolver = o.Solver
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// SubReport records one solved sub-graph at the first level.
+type SubReport struct {
+	Nodes  int     // sub-graph size
+	Edges  int     // sub-graph edge count
+	Value  float64 // cut value found by the solver
+	Solver string  // solver name
+}
+
+// Result reports a QAOA² run.
+type Result struct {
+	Cut maxcut.Cut
+	// Levels is the number of merge levels used (0 when the graph fit
+	// directly on the device).
+	Levels int
+	// SubGraphs counts the first-level sub-graphs.
+	SubGraphs int
+	// SubReports details every first-level sub-graph solve.
+	SubReports []SubReport
+	// IntraCut is the weight cut inside sub-graphs before merging;
+	// CrossCut is the weight cut across sub-graphs after the merge
+	// flips. Their sum equals Cut.Value.
+	IntraCut, CrossCut float64
+}
+
+// Solve runs the QAOA² divide-and-conquer on g.
+func Solve(g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := g.N()
+	if n == 0 {
+		return &Result{Cut: maxcut.Cut{Spins: []int8{}, Value: 0}}, nil
+	}
+
+	// Small enough for the device: a single direct solve (unless an
+	// explicit partition was requested).
+	if n <= opts.MaxQubits && opts.Partition == nil {
+		cut, err := opts.Solver.SolveSub(g, rng.New(opts.Seed))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Cut:       cut,
+			SubGraphs: 1,
+			SubReports: []SubReport{{
+				Nodes: n, Edges: g.M(), Value: cut.Value, Solver: opts.Solver.Name(),
+			}},
+			IntraCut: cut.Value,
+		}, nil
+	}
+
+	parts := opts.Partition
+	if parts == nil {
+		var err error
+		parts, err = partition.SizeCapped(g, opts.MaxQubits)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for i, p := range parts {
+			if len(p) == 0 {
+				return nil, fmt.Errorf("qaoa2: explicit partition part %d is empty", i)
+			}
+			if len(p) > opts.MaxQubits {
+				return nil, fmt.Errorf("qaoa2: explicit partition part %d has %d nodes, budget %d",
+					i, len(p), opts.MaxQubits)
+			}
+		}
+	}
+
+	// Solve all sub-graphs in parallel (paper §3.3 step 3: "All
+	// sub-graphs are solved with QAOA in parallel over different
+	// (simulated) quantum devices").
+	type subResult struct {
+		cut     maxcut.Cut
+		mapping []int
+		report  SubReport
+		err     error
+	}
+	results := make([]subResult, len(parts))
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub, mapping, err := g.InducedSubgraph(part)
+			if err != nil {
+				results[i] = subResult{err: err}
+				return
+			}
+			cut, err := opts.Solver.SolveSub(sub, rng.New(opts.Seed).Split(uint64(i)+0x9e37))
+			if err != nil {
+				results[i] = subResult{err: fmt.Errorf("qaoa2: sub-graph %d: %w", i, err)}
+				return
+			}
+			results[i] = subResult{
+				cut:     cut,
+				mapping: mapping,
+				report: SubReport{
+					Nodes: sub.N(), Edges: sub.M(), Value: cut.Value, Solver: opts.Solver.Name(),
+				},
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+	}
+
+	reports := make([]SubReport, len(parts))
+	cuts := make([]maxcut.Cut, len(parts))
+	for i, res := range results {
+		reports[i] = res.report
+		cuts[i] = res.cut
+	}
+
+	cut, levels, err := MergeSubSolutions(g, parts, cuts, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	groupOf := make([]int, n)
+	for i, part := range parts {
+		for _, v := range part {
+			groupOf[v] = i
+		}
+	}
+	intra := intraCutValue(g, groupOf, cut.Spins)
+	res := &Result{
+		Cut:        cut,
+		Levels:     levels,
+		SubGraphs:  len(parts),
+		SubReports: reports,
+		IntraCut:   intra,
+		CrossCut:   cut.Value - intra,
+	}
+	return res, nil
+}
+
+// MergeSubSolutions performs the QAOA² merging procedure (paper §3.3
+// steps 4-5) given already-solved sub-graphs: it stitches the
+// sub-solutions into a global assignment, builds the signed contracted
+// graph (+w for currently-uncut cross edges, −w for cut ones), solves it
+// with opts.MergeSolver (recursing through Solve when it exceeds the
+// qubit budget), and flips every sub-graph whose merge-node is −1.
+// parts[i] lists the original node ids of sub-graph i; cuts[i] is the
+// sub-solution over the SAME node order. Exposed so distributed drivers
+// (internal/hpc's coordinator workflow) can reuse the merge step.
+func MergeSubSolutions(g *graph.Graph, parts [][]int, cuts []maxcut.Cut, opts Options) (maxcut.Cut, int, error) {
+	opts = opts.withDefaults()
+	n := g.N()
+	if len(parts) != len(cuts) {
+		return maxcut.Cut{}, 0, fmt.Errorf("qaoa2: %d parts but %d cuts", len(parts), len(cuts))
+	}
+	spins := make([]int8, n)
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for i, part := range parts {
+		if len(cuts[i].Spins) != len(part) {
+			return maxcut.Cut{}, 0, fmt.Errorf("qaoa2: part %d has %d nodes but cut has %d spins",
+				i, len(part), len(cuts[i].Spins))
+		}
+		for k, orig := range part {
+			if orig < 0 || orig >= n {
+				return maxcut.Cut{}, 0, fmt.Errorf("qaoa2: part %d references node %d outside graph", i, orig)
+			}
+			if groupOf[orig] != -1 {
+				return maxcut.Cut{}, 0, fmt.Errorf("qaoa2: node %d appears in two parts", orig)
+			}
+			spins[orig] = cuts[i].Spins[k]
+			groupOf[orig] = i
+		}
+	}
+	for v, grp := range groupOf {
+		if grp == -1 {
+			return maxcut.Cut{}, 0, fmt.Errorf("qaoa2: node %d not covered by any part", v)
+		}
+	}
+
+	merged, err := g.Contract(groupOf, len(parts), func(e graph.Edge) float64 {
+		if spins[e.I] != spins[e.J] {
+			return -e.W
+		}
+		return e.W
+	})
+	if err != nil {
+		return maxcut.Cut{}, 0, err
+	}
+
+	flips, levels, err := solveMerge(merged, opts, 1)
+	if err != nil {
+		return maxcut.Cut{}, 0, err
+	}
+	for v := 0; v < n; v++ {
+		if flips[groupOf[v]] < 0 {
+			spins[v] = -spins[v]
+		}
+	}
+	return maxcut.Cut{Spins: spins, Value: g.CutValue(spins)}, levels, nil
+}
+
+// solveMerge returns the ±1 orientation of each merge-graph node.
+func solveMerge(merged *graph.Graph, opts Options, level int) ([]int8, int, error) {
+	if merged.N() <= opts.MaxQubits {
+		cut, err := opts.MergeSolver.SolveSub(merged, rng.New(opts.Seed).Split(uint64(level)*0x51ed))
+		if err != nil {
+			return nil, 0, fmt.Errorf("qaoa2: merge level %d: %w", level, err)
+		}
+		return cut.Spins, level, nil
+	}
+	// Still too large: apply the whole divide-and-conquer to the merge
+	// graph with the merge solver on both roles.
+	sub, err := Solve(merged, Options{
+		MaxQubits:   opts.MaxQubits,
+		Solver:      opts.MergeSolver,
+		MergeSolver: opts.MergeSolver,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed ^ (uint64(level) * 0xabcd),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return sub.Cut.Spins, level + sub.Levels, nil
+}
+
+// intraCutValue sums cut weight of edges inside sub-graphs.
+func intraCutValue(g *graph.Graph, groupOf []int, spins []int8) float64 {
+	v := 0.0
+	for _, e := range g.Edges() {
+		if groupOf[e.I] == groupOf[e.J] && spins[e.I] != spins[e.J] {
+			v += e.W
+		}
+	}
+	return v
+}
+
+// SummarizeSubReports aggregates first-level sub-reports per solver for
+// logs: count and total value, sorted by solver name.
+func SummarizeSubReports(reports []SubReport) string {
+	type agg struct {
+		count int
+		value float64
+	}
+	m := make(map[string]*agg)
+	for _, r := range reports {
+		a := m[r.Solver]
+		if a == nil {
+			a = &agg{}
+			m[r.Solver] = a
+		}
+		a.count++
+		a.value += r.Value
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, name := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s: %d sub-graphs, Σcut %.3f", name, m[name].count, m[name].value)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+
+	"qaoa2/internal/rng"
+)
+
+// MeasureQubit performs a projective computational-basis measurement of
+// one qubit: it samples the outcome from the marginal probability,
+// collapses the state (zeroing the inconsistent branch and
+// renormalizing) and returns the observed bit. This is the primitive a
+// mid-circuit-measurement workflow needs; the QAOA pipeline itself only
+// measures terminally via Sample.
+func (s *State) MeasureQubit(q int, r *rng.Rand) uint8 {
+	s.checkQubit(q)
+	bit := uint64(1) << uint(q)
+	// Marginal P(qubit q = 1).
+	p1 := 0.0
+	for i, a := range s.amps {
+		if uint64(i)&bit != 0 {
+			re, im := real(a), imag(a)
+			p1 += re*re + im*im
+		}
+	}
+	outcome := uint8(0)
+	if r.Float64() < p1 {
+		outcome = 1
+	}
+	s.collapse(bit, outcome, p1)
+	return outcome
+}
+
+// PostSelect forces qubit q to the given value, collapsing the state. It
+// returns an error when the requested branch has (near-)zero
+// probability, which would leave no state to renormalize.
+func (s *State) PostSelect(q int, value uint8, minProb float64) error {
+	s.checkQubit(q)
+	if value > 1 {
+		return fmt.Errorf("qsim: post-select value %d not a bit", value)
+	}
+	bit := uint64(1) << uint(q)
+	p1 := 0.0
+	for i, a := range s.amps {
+		if uint64(i)&bit != 0 {
+			re, im := real(a), imag(a)
+			p1 += re*re + im*im
+		}
+	}
+	p := p1
+	if value == 0 {
+		p = 1 - p1
+	}
+	if minProb <= 0 {
+		minProb = 1e-12
+	}
+	if p < minProb {
+		return fmt.Errorf("qsim: post-selecting qubit %d = %d has probability %.3g < %.3g", q, value, p, minProb)
+	}
+	s.collapse(bit, value, p1)
+	return nil
+}
+
+// collapse zeroes the branch inconsistent with qubit(bit) = outcome and
+// renormalizes. p1 is the pre-collapse probability of the 1-branch.
+func (s *State) collapse(bit uint64, outcome uint8, p1 float64) {
+	keepProb := p1
+	if outcome == 0 {
+		keepProb = 1 - p1
+	}
+	if keepProb <= 0 {
+		// Degenerate collapse (numerically impossible branch): reset to
+		// the basis state with the forced bit to stay normalized.
+		for i := range s.amps {
+			s.amps[i] = 0
+		}
+		idx := uint64(0)
+		if outcome == 1 {
+			idx = bit
+		}
+		s.amps[idx] = 1
+		return
+	}
+	scale := complex(1/math.Sqrt(keepProb), 0)
+	parFor(len(s.amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			hasBit := uint64(i)&bit != 0
+			if hasBit == (outcome == 1) {
+				s.amps[i] *= scale
+			} else {
+				s.amps[i] = 0
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/rng"
+)
+
+func TestMeasureQubitBasisState(t *testing.T) {
+	s, _ := NewState(3)
+	s.ApplyX(1)
+	r := rng.New(1)
+	if got := s.MeasureQubit(1, r); got != 1 {
+		t.Fatalf("deterministic measurement got %d", got)
+	}
+	if got := s.MeasureQubit(0, r); got != 0 {
+		t.Fatalf("deterministic measurement got %d", got)
+	}
+	if math.Abs(s.NormSquared()-1) > 1e-12 {
+		t.Fatalf("norm after measurement %v", s.NormSquared())
+	}
+}
+
+func TestMeasureQubitStatistics(t *testing.T) {
+	r := rng.New(2)
+	ones := 0
+	const trials = 20000
+	for k := 0; k < trials; k++ {
+		s, _ := NewState(1)
+		s.ApplyRY(0, 2*math.Pi/3) // P(1) = sin²(π/3) = 3/4
+		if s.MeasureQubit(0, r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("P(1) estimate %v want 0.75", frac)
+	}
+}
+
+func TestMeasureCollapsesEntanglement(t *testing.T) {
+	// Bell pair: measuring one qubit pins the other.
+	r := rng.New(3)
+	for k := 0; k < 50; k++ {
+		s, _ := NewState(2)
+		s.ApplyH(0)
+		s.ApplyCNOT(0, 1)
+		a := s.MeasureQubit(0, r)
+		b := s.MeasureQubit(1, r)
+		if a != b {
+			t.Fatalf("bell measurement disagreed: %d vs %d", a, b)
+		}
+		if math.Abs(s.NormSquared()-1) > 1e-12 {
+			t.Fatalf("norm %v", s.NormSquared())
+		}
+	}
+}
+
+func TestPostSelect(t *testing.T) {
+	s, _ := NewPlusState(2)
+	if err := s.PostSelect(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining support: |01⟩ and |11⟩ with equal weight.
+	if s.Probability(0b01)+s.Probability(0b11) < 1-1e-9 {
+		t.Fatalf("post-selected mass %v", s.Probability(0b01)+s.Probability(0b11))
+	}
+	if s.Probability(0b00) > 1e-12 {
+		t.Fatal("inconsistent branch survived")
+	}
+}
+
+func TestPostSelectImpossibleBranch(t *testing.T) {
+	s, _ := NewState(2) // |00⟩
+	if err := s.PostSelect(0, 1, 1e-9); err == nil {
+		t.Fatal("impossible post-selection accepted")
+	}
+	if err := s.PostSelect(0, 2, 0); err == nil {
+		t.Fatal("non-bit value accepted")
+	}
+}

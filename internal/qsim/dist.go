@@ -1,0 +1,380 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// DistStats records the communication behaviour of a distributed
+// simulation; the scaling experiment (paper §4: "33 qubits ... on 512
+// compute nodes", "almost ideal scaling") reads these counters.
+type DistStats struct {
+	LocalGates   int    // gates applied without communication
+	CommGates    int    // gates that required rank exchange
+	MessagesSent int    // point-to-point messages (one per rank per exchange)
+	BytesSent    uint64 // payload volume of those messages
+}
+
+// DistState is a statevector partitioned into 2^p contiguous slices
+// owned by simulated MPI ranks, reproducing the cache-blocking scheme of
+// the paper's aer backend (Doi & Horii): gates on the low n−p "local"
+// qubits touch only rank-private memory, while gates on the high p
+// "global" qubits trigger pairwise slice exchanges between partner
+// ranks. Diagonal gates (RZ, RZZ, CZ) never communicate, which is why
+// the QAOA cost layer is embarrassingly parallel — the observation that
+// makes the paper's workflow efficient.
+type DistState struct {
+	n      int
+	p      int // log2(ranks)
+	local  int // qubits resolved inside a slice: n - p
+	slices [][]complex128
+	recv   [][]complex128
+	Stats  DistStats
+}
+
+// NewDistPlusState builds the |+⟩^⊗n state over 2^p ranks.
+func NewDistPlusState(n, ranks int) (*DistState, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("qsim: qubit count %d outside [1,%d]", n, MaxQubits)
+	}
+	p := 0
+	for 1<<uint(p) < ranks {
+		p++
+	}
+	if 1<<uint(p) != ranks || ranks < 1 {
+		return nil, fmt.Errorf("qsim: rank count %d is not a power of two", ranks)
+	}
+	if p >= n {
+		return nil, fmt.Errorf("qsim: %d ranks need more than %d qubits", ranks, n)
+	}
+	d := &DistState{n: n, p: p, local: n - p}
+	sliceLen := 1 << uint(d.local)
+	amp := complex(1/math.Sqrt(float64(uint64(1)<<uint(n))), 0)
+	d.slices = make([][]complex128, ranks)
+	d.recv = make([][]complex128, ranks)
+	for r := range d.slices {
+		d.slices[r] = make([]complex128, sliceLen)
+		d.recv[r] = make([]complex128, sliceLen)
+		for i := range d.slices[r] {
+			d.slices[r][i] = amp
+		}
+	}
+	return d, nil
+}
+
+// N returns the qubit count.
+func (d *DistState) N() int { return d.n }
+
+// Ranks returns the number of simulated ranks.
+func (d *DistState) Ranks() int { return len(d.slices) }
+
+// ToState gathers all slices into a single State (the "collect results
+// at the coordinator" step).
+func (d *DistState) ToState() *State {
+	s := &State{n: d.n, amps: make([]complex128, uint64(1)<<uint(d.n))}
+	sliceLen := len(d.slices[0])
+	for r, sl := range d.slices {
+		copy(s.amps[r*sliceLen:], sl)
+	}
+	return s
+}
+
+// eachRank runs body concurrently for every rank and waits: one
+// "superstep" of the bulk-synchronous execution. Gates needing
+// communication run two supersteps with an exchange between them.
+func (d *DistState) eachRank(body func(r int)) {
+	var wg sync.WaitGroup
+	for r := range d.slices {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// exchange copies each participating rank's slice into its partner's
+// receive buffer and accounts for the traffic. partnerOf returns the
+// partner rank, or a negative value for ranks that sit out this round.
+func (d *DistState) exchange(partnerOf func(r int) int) {
+	sliceBytes := uint64(len(d.slices[0])) * 16
+	participants := 0
+	d.eachRank(func(r int) {
+		partner := partnerOf(r)
+		if partner < 0 {
+			return
+		}
+		// "Send" this rank's slice: write it into the partner's recv
+		// buffer. Each rank writes only partner.recv, so supersteps are
+		// race-free.
+		copy(d.recv[partner], d.slices[r])
+	})
+	for r := range d.slices {
+		if partnerOf(r) >= 0 {
+			participants++
+		}
+	}
+	d.Stats.MessagesSent += participants
+	d.Stats.BytesSent += uint64(participants) * sliceBytes
+}
+
+// globalBit returns the bit of qubit q inside the rank index, or -1 if
+// the qubit is slice-local.
+func (d *DistState) globalBit(q int) int {
+	if q < d.local {
+		return -1
+	}
+	return q - d.local
+}
+
+func (d *DistState) checkQubit(q int) {
+	if q < 0 || q >= d.n {
+		panic(fmt.Sprintf("qsim: qubit %d out of range [0,%d)", q, d.n))
+	}
+}
+
+// apply1QLocal applies a 2x2 matrix on a local qubit within every slice.
+func (d *DistState) apply1QLocal(q int, m [2][2]complex128) {
+	step := uint64(1) << uint(q)
+	d.eachRank(func(r int) {
+		sl := d.slices[r]
+		pairs := len(sl) / 2
+		for k := 0; k < pairs; k++ {
+			i0 := pairIndex(k, q)
+			i1 := i0 | step
+			a0, a1 := sl[i0], sl[i1]
+			sl[i0] = m[0][0]*a0 + m[0][1]*a1
+			sl[i1] = m[1][0]*a0 + m[1][1]*a1
+		}
+	})
+	d.Stats.LocalGates++
+}
+
+// apply1QGlobal applies a 2x2 matrix on a global qubit via pairwise
+// exchange: the rank holding the 0-side computes the new 0 amplitudes
+// from (mine, partner's), and symmetrically for the 1-side.
+func (d *DistState) apply1QGlobal(gb int, m [2][2]complex128) {
+	bit := 1 << uint(gb)
+	d.exchange(func(r int) int { return r ^ bit })
+	d.eachRank(func(r int) {
+		mine := d.slices[r]
+		theirs := d.recv[r]
+		if r&bit == 0 {
+			for i := range mine {
+				mine[i] = m[0][0]*mine[i] + m[0][1]*theirs[i]
+			}
+		} else {
+			for i := range mine {
+				mine[i] = m[1][0]*theirs[i] + m[1][1]*mine[i]
+			}
+		}
+	})
+	d.Stats.CommGates++
+}
+
+// Apply1Q routes a single-qubit unitary to the local or global kernel.
+func (d *DistState) Apply1Q(q int, m [2][2]complex128) {
+	d.checkQubit(q)
+	if gb := d.globalBit(q); gb >= 0 {
+		d.apply1QGlobal(gb, m)
+	} else {
+		d.apply1QLocal(q, m)
+	}
+}
+
+// ApplyH applies a Hadamard.
+func (d *DistState) ApplyH(q int) {
+	inv := complex(1/math.Sqrt2, 0)
+	d.Apply1Q(q, [2][2]complex128{{inv, inv}, {inv, -inv}})
+}
+
+// ApplyX applies Pauli-X.
+func (d *DistState) ApplyX(q int) {
+	d.Apply1Q(q, [2][2]complex128{{0, 1}, {1, 0}})
+}
+
+// ApplyY applies Pauli-Y.
+func (d *DistState) ApplyY(q int) {
+	d.Apply1Q(q, [2][2]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}})
+}
+
+// ApplyRX applies RX(θ).
+func (d *DistState) ApplyRX(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	is := complex(0, -math.Sin(theta/2))
+	d.Apply1Q(q, [2][2]complex128{{c, is}, {is, c}})
+}
+
+// ApplyRY applies RY(θ).
+func (d *DistState) ApplyRY(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	sn := complex(math.Sin(theta/2), 0)
+	d.Apply1Q(q, [2][2]complex128{{c, -sn}, {sn, c}})
+}
+
+// ApplyZ applies Pauli-Z (diagonal: never communicates).
+func (d *DistState) ApplyZ(q int) {
+	d.checkQubit(q)
+	d.applyDiagonal(func(global uint64) complex128 {
+		if global>>uint(q)&1 == 1 {
+			return -1
+		}
+		return 1
+	})
+}
+
+// ApplyRZ applies RZ(θ) (diagonal: never communicates).
+func (d *DistState) ApplyRZ(q int, theta float64) {
+	d.checkQubit(q)
+	p0 := cmplx.Exp(complex(0, -theta/2))
+	p1 := cmplx.Exp(complex(0, theta/2))
+	d.applyDiagonal(func(global uint64) complex128 {
+		if global>>uint(q)&1 == 0 {
+			return p0
+		}
+		return p1
+	})
+}
+
+// ApplyRZZ applies RZZ(θ) (diagonal: never communicates). This is the
+// key property exploited by distributed QAOA simulation — the entire
+// cost layer is communication-free regardless of which qubits it
+// touches.
+func (d *DistState) ApplyRZZ(q1, q2 int, theta float64) {
+	d.checkQubit(q1)
+	d.checkQubit(q2)
+	if q1 == q2 {
+		panic("qsim: RZZ on identical qubits")
+	}
+	same := cmplx.Exp(complex(0, -theta/2))
+	diff := cmplx.Exp(complex(0, theta/2))
+	d.applyDiagonal(func(global uint64) complex128 {
+		if (global >> uint(q1) & 1) == (global >> uint(q2) & 1) {
+			return same
+		}
+		return diff
+	})
+}
+
+// ApplyCZ applies CZ (diagonal: never communicates).
+func (d *DistState) ApplyCZ(q1, q2 int) {
+	d.checkQubit(q1)
+	d.checkQubit(q2)
+	if q1 == q2 {
+		panic("qsim: CZ on identical qubits")
+	}
+	d.applyDiagonal(func(global uint64) complex128 {
+		if global>>uint(q1)&1 == 1 && global>>uint(q2)&1 == 1 {
+			return -1
+		}
+		return 1
+	})
+}
+
+// applyDiagonal multiplies every amplitude by phase(globalIndex).
+func (d *DistState) applyDiagonal(phase func(global uint64) complex128) {
+	d.eachRank(func(r int) {
+		base := uint64(r) << uint(d.local)
+		sl := d.slices[r]
+		for i := range sl {
+			sl[i] *= phase(base | uint64(i))
+		}
+	})
+	d.Stats.LocalGates++
+}
+
+// ApplyCNOT applies a controlled-X, selecting among the four
+// local/global kernel combinations.
+func (d *DistState) ApplyCNOT(control, target int) {
+	d.checkQubit(control)
+	d.checkQubit(target)
+	if control == target {
+		panic("qsim: CNOT with control == target")
+	}
+	cg, tg := d.globalBit(control), d.globalBit(target)
+	switch {
+	case cg < 0 && tg < 0:
+		// Fully local: swap pairs inside each slice.
+		cb := uint64(1) << uint(control)
+		tb := uint64(1) << uint(target)
+		d.eachRank(func(r int) {
+			sl := d.slices[r]
+			pairs := len(sl) / 2
+			for k := 0; k < pairs; k++ {
+				i0 := pairIndex(k, target)
+				if i0&cb == 0 {
+					continue
+				}
+				i1 := i0 | tb
+				sl[i0], sl[i1] = sl[i1], sl[i0]
+			}
+		})
+		d.Stats.LocalGates++
+	case cg >= 0 && tg < 0:
+		// Control decided by the rank id: ranks with the bit set apply a
+		// local X, the rest idle. No communication.
+		tb := uint64(1) << uint(target)
+		cbit := 1 << uint(cg)
+		d.eachRank(func(r int) {
+			if r&cbit == 0 {
+				return
+			}
+			sl := d.slices[r]
+			pairs := len(sl) / 2
+			for k := 0; k < pairs; k++ {
+				i0 := pairIndex(k, target)
+				i1 := i0 | tb
+				sl[i0], sl[i1] = sl[i1], sl[i0]
+			}
+		})
+		d.Stats.LocalGates++
+	case cg < 0 && tg >= 0:
+		// Target spans ranks: exchange with the partner, then take the
+		// partner's amplitude wherever the (local) control bit is set.
+		tbit := 1 << uint(tg)
+		cb := uint64(1) << uint(control)
+		d.exchange(func(r int) int { return r ^ tbit })
+		d.eachRank(func(r int) {
+			mine := d.slices[r]
+			theirs := d.recv[r]
+			for i := range mine {
+				if uint64(i)&cb != 0 {
+					mine[i] = theirs[i]
+				}
+			}
+		})
+		d.Stats.CommGates++
+	default:
+		// Both global: ranks with the control bit set swap slices with
+		// their target-partner; others idle.
+		cbit := 1 << uint(cg)
+		tbit := 1 << uint(tg)
+		d.exchange(func(r int) int {
+			if r&cbit == 0 {
+				return -1
+			}
+			return r ^ tbit
+		})
+		d.eachRank(func(r int) {
+			if r&cbit == 0 {
+				return
+			}
+			copy(d.slices[r], d.recv[r])
+		})
+		d.Stats.CommGates++
+	}
+}
+
+// ApplySwap exchanges two qubits via three CNOTs (keeps the kernel set
+// minimal; SWAP is rare in QAOA workloads).
+func (d *DistState) ApplySwap(q1, q2 int) {
+	if q1 == q2 {
+		return
+	}
+	d.ApplyCNOT(q1, q2)
+	d.ApplyCNOT(q2, q1)
+	d.ApplyCNOT(q1, q2)
+}

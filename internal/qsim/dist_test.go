@@ -1,0 +1,218 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/rng"
+)
+
+// applyProgram drives the same pseudo-random gate sequence on any
+// backend-compatible target.
+type gateTarget interface {
+	ApplyH(q int)
+	ApplyX(q int)
+	ApplyRX(q int, theta float64)
+	ApplyRZ(q int, theta float64)
+	ApplyRZZ(q1, q2 int, theta float64)
+	ApplyCNOT(control, target int)
+	ApplyCZ(q1, q2 int)
+}
+
+func applyProgram(t gateTarget, n int, seed uint64, gates int) {
+	r := rng.New(seed)
+	for k := 0; k < gates; k++ {
+		q := r.Intn(n)
+		p := r.Intn(n)
+		for p == q {
+			p = r.Intn(n)
+		}
+		theta := (r.Float64() - 0.5) * 4
+		switch r.Intn(7) {
+		case 0:
+			t.ApplyH(q)
+		case 1:
+			t.ApplyX(q)
+		case 2:
+			t.ApplyRX(q, theta)
+		case 3:
+			t.ApplyRZ(q, theta)
+		case 4:
+			t.ApplyRZZ(q, p, theta)
+		case 5:
+			t.ApplyCNOT(q, p)
+		case 6:
+			t.ApplyCZ(q, p)
+		}
+	}
+}
+
+func TestDistMatchesSerialRandomPrograms(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4, 8} {
+		for seed := uint64(0); seed < 3; seed++ {
+			n := 6
+			serial, _ := NewPlusState(n)
+			dist, err := NewDistPlusState(n, ranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyProgram(serial, n, seed, 40)
+			applyProgram(dist, n, seed, 40)
+			gathered := dist.ToState()
+			for i := 0; i < serial.Len(); i++ {
+				if !cEq(serial.Amp(uint64(i)), gathered.Amp(uint64(i)), 1e-9) {
+					t.Fatalf("ranks=%d seed=%d: amp %d differs: %v vs %v",
+						ranks, seed, i, serial.Amp(uint64(i)), gathered.Amp(uint64(i)))
+				}
+			}
+		}
+	}
+}
+
+func TestDistCNOTAllQuadrants(t *testing.T) {
+	// 4 ranks over 4 qubits: qubits 0,1 local; 2,3 global. Exercise all
+	// four control/target locality combinations explicitly.
+	cases := [][2]int{
+		{0, 1}, // local-local
+		{2, 1}, // global control, local target
+		{0, 3}, // local control, global target
+		{2, 3}, // global-global
+		{3, 2}, // global-global reversed
+		{1, 2}, // local control, global target
+	}
+	for _, c := range cases {
+		n := 4
+		serial, _ := NewPlusState(n)
+		dist, err := NewDistPlusState(n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build an asymmetric state first so swaps are visible.
+		serial.ApplyRX(0, 0.5)
+		serial.ApplyRZ(3, 1.1)
+		dist.ApplyRX(0, 0.5)
+		dist.ApplyRZ(3, 1.1)
+		serial.ApplyCNOT(c[0], c[1])
+		dist.ApplyCNOT(c[0], c[1])
+		g := dist.ToState()
+		for i := 0; i < serial.Len(); i++ {
+			if !cEq(serial.Amp(uint64(i)), g.Amp(uint64(i)), 1e-10) {
+				t.Fatalf("CNOT %v: amp %d %v vs %v", c, i, serial.Amp(uint64(i)), g.Amp(uint64(i)))
+			}
+		}
+	}
+}
+
+func TestDistDiagonalGatesNeverCommunicate(t *testing.T) {
+	d, err := NewDistPlusState(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ApplyRZZ(4, 5, 0.7) // both qubits global
+	d.ApplyRZZ(0, 5, 0.3) // mixed
+	d.ApplyRZ(5, 0.2)     // global
+	d.ApplyCZ(4, 5)       // both global
+	d.ApplyZ(5)
+	if d.Stats.MessagesSent != 0 || d.Stats.CommGates != 0 {
+		t.Fatalf("diagonal gates communicated: %+v", d.Stats)
+	}
+	if d.Stats.LocalGates != 5 {
+		t.Fatalf("local gate count %d want 5", d.Stats.LocalGates)
+	}
+}
+
+func TestDistGlobalGateCommunicates(t *testing.T) {
+	d, err := NewDistPlusState(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ApplyH(5) // global qubit: every rank exchanges
+	if d.Stats.CommGates != 1 {
+		t.Fatalf("comm gates %d", d.Stats.CommGates)
+	}
+	if d.Stats.MessagesSent != 4 {
+		t.Fatalf("messages %d want 4 (one per rank)", d.Stats.MessagesSent)
+	}
+	wantBytes := uint64(4) * uint64(1<<4) * 16
+	if d.Stats.BytesSent != wantBytes {
+		t.Fatalf("bytes %d want %d", d.Stats.BytesSent, wantBytes)
+	}
+	d.ApplyH(0) // local: no new traffic
+	if d.Stats.MessagesSent != 4 {
+		t.Fatal("local gate generated traffic")
+	}
+}
+
+func TestDistGlobalGlobalCNOTHalfTraffic(t *testing.T) {
+	d, err := NewDistPlusState(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ApplyCNOT(4, 5) // both global: only control-set ranks exchange
+	if d.Stats.MessagesSent != 2 {
+		t.Fatalf("messages %d want 2 (half the ranks)", d.Stats.MessagesSent)
+	}
+}
+
+func TestDistSwapViaCNOTs(t *testing.T) {
+	n := 5
+	serial, _ := NewPlusState(n)
+	dist, _ := NewDistPlusState(n, 2)
+	serial.ApplyRX(0, 0.4)
+	dist.ApplyRX(0, 0.4)
+	serial.ApplySwap(0, 4)
+	dist.ApplySwap(0, 4)
+	g := dist.ToState()
+	for i := 0; i < serial.Len(); i++ {
+		if !cEq(serial.Amp(uint64(i)), g.Amp(uint64(i)), 1e-9) {
+			t.Fatalf("swap amp %d: %v vs %v", i, serial.Amp(uint64(i)), g.Amp(uint64(i)))
+		}
+	}
+}
+
+func TestDistValidation(t *testing.T) {
+	if _, err := NewDistPlusState(4, 3); err == nil {
+		t.Fatal("non-power-of-two ranks accepted")
+	}
+	if _, err := NewDistPlusState(3, 8); err == nil {
+		t.Fatal("more ranks than slices accepted")
+	}
+	if _, err := NewDistPlusState(0, 1); err == nil {
+		t.Fatal("zero qubits accepted")
+	}
+	d, err := NewDistPlusState(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ranks() != 2 || d.N() != 4 {
+		t.Fatalf("ranks=%d n=%d", d.Ranks(), d.N())
+	}
+}
+
+func TestDistSingleRankDegeneratesToSerial(t *testing.T) {
+	d, err := NewDistPlusState(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyProgram(d, 5, 42, 25)
+	s, _ := NewPlusState(5)
+	applyProgram(s, 5, 42, 25)
+	g := d.ToState()
+	if f := Fidelity(s, g); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("single-rank fidelity %v", f)
+	}
+	if d.Stats.CommGates != 0 {
+		t.Fatalf("single rank communicated: %+v", d.Stats)
+	}
+}
+
+func BenchmarkDistH16Q4Ranks(b *testing.B) {
+	d, err := NewDistPlusState(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyH(15) // global qubit: exchange every call
+	}
+}

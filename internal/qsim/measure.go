@@ -1,0 +1,163 @@
+package qsim
+
+import (
+	"sort"
+	"sync"
+
+	"qaoa2/internal/rng"
+)
+
+// Probability returns |⟨i|ψ⟩|².
+func (s *State) Probability(i uint64) float64 {
+	a := s.amps[i]
+	re, im := real(a), imag(a)
+	return re*re + im*im
+}
+
+// Probabilities materializes the full 2^n probability vector. Callers
+// working at high qubit counts should prefer the streaming accessors.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amps))
+	parFor(len(s.amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			a := s.amps[i]
+			re, im := real(a), imag(a)
+			p[i] = re*re + im*im
+		}
+	})
+	return p
+}
+
+// MaxAmpIndex returns the basis state with the largest probability (the
+// paper's solution-decoding rule: "the bit string corresponding to the
+// highest amplitude ... is chosen as a solution"). Ties resolve to the
+// smallest index for determinism.
+func (s *State) MaxAmpIndex() uint64 {
+	best := uint64(0)
+	bestP := -1.0
+	for i := range s.amps {
+		a := s.amps[i]
+		re, im := real(a), imag(a)
+		p := re*re + im*im
+		if p > bestP {
+			bestP = p
+			best = uint64(i)
+		}
+	}
+	return best
+}
+
+// TopAmpIndices returns the k basis states with the largest
+// probabilities, in descending probability order (ties: ascending
+// index). This is the paper's proposed improvement over single-best
+// decoding ("consider a number of highest amplitudes and chose the bit
+// string yielding the highest cut").
+func (s *State) TopAmpIndices(k int) []uint64 {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s.amps) {
+		k = len(s.amps)
+	}
+	type entry struct {
+		p float64
+		i uint64
+	}
+	// Bounded selection: keep a slice of the k best, heapless since k is
+	// tiny in practice (k ≤ 32 in the experiments).
+	top := make([]entry, 0, k+1)
+	for i := range s.amps {
+		a := s.amps[i]
+		re, im := real(a), imag(a)
+		p := re*re + im*im
+		if len(top) == k && p <= top[k-1].p {
+			continue
+		}
+		pos := sort.Search(len(top), func(j int) bool {
+			if top[j].p != p {
+				return top[j].p < p
+			}
+			return top[j].i > uint64(i)
+		})
+		top = append(top, entry{})
+		copy(top[pos+1:], top[pos:])
+		top[pos] = entry{p: p, i: uint64(i)}
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	out := make([]uint64, len(top))
+	for j, e := range top {
+		out[j] = e.i
+	}
+	return out
+}
+
+// Sample draws `shots` measurement outcomes in the computational basis,
+// returning a histogram basis-index → count. It uses the inverse-CDF
+// method with sorted uniforms: O(2^n + shots·log shots) and no 2^n
+// auxiliary allocation beyond the caller-visible histogram.
+func (s *State) Sample(shots int, r *rng.Rand) map[uint64]int {
+	hist := make(map[uint64]int)
+	if shots <= 0 {
+		return hist
+	}
+	u := make([]float64, shots)
+	for i := range u {
+		u[i] = r.Float64()
+	}
+	sort.Float64s(u)
+	cum := 0.0
+	next := 0
+	for i := range s.amps {
+		a := s.amps[i]
+		re, im := real(a), imag(a)
+		cum += re*re + im*im
+		for next < shots && u[next] < cum {
+			hist[uint64(i)]++
+			next++
+		}
+		if next == shots {
+			break
+		}
+	}
+	// Numerical round-off can leave trailing draws; assign them to the
+	// last basis state.
+	for next < shots {
+		hist[uint64(len(s.amps)-1)]++
+		next++
+	}
+	return hist
+}
+
+// ExpectDiagonal returns ⟨ψ| D |ψ⟩ for the diagonal operator with basis
+// values given by the table (len 2^n). The QAOA objective F_p = ⟨H_C⟩ is
+// evaluated through this with a precomputed cut-value table.
+func (s *State) ExpectDiagonal(table []float64) float64 {
+	if len(table) != len(s.amps) {
+		panic("qsim: diagonal table length mismatch")
+	}
+	var mu sync.Mutex
+	total := 0.0
+	parFor(len(s.amps), func(start, end int) {
+		acc := 0.0
+		for i := start; i < end; i++ {
+			a := s.amps[i]
+			re, im := real(a), imag(a)
+			acc += (re*re + im*im) * table[i]
+		}
+		mu.Lock()
+		total += acc
+		mu.Unlock()
+	})
+	return total
+}
+
+// BitsOf unpacks basis index x into n bits, bit q = qubit q.
+func BitsOf(x uint64, n int) []uint8 {
+	bits := make([]uint8, n)
+	for q := 0; q < n; q++ {
+		bits[q] = uint8(x >> uint(q) & 1)
+	}
+	return bits
+}

@@ -1,0 +1,117 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/rng"
+)
+
+func TestNoiseModelValidate(t *testing.T) {
+	if err := (NoiseModel{OneQubit: 0.1, TwoQubit: 0.2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []NoiseModel{{OneQubit: -0.1}, {TwoQubit: 1.5}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("model %+v accepted", bad)
+		}
+	}
+	if !(NoiseModel{}).IsZero() || (NoiseModel{OneQubit: 0.1}).IsZero() {
+		t.Fatal("IsZero broken")
+	}
+}
+
+func TestNewNoisyStateValidation(t *testing.T) {
+	s, _ := NewState(2)
+	if _, err := NewNoisyState(s, NoiseModel{OneQubit: 2}, rng.New(1)); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := NewNoisyState(s, NoiseModel{}, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestZeroNoiseIsTransparent(t *testing.T) {
+	clean, _ := NewPlusState(4)
+	noisyBase, _ := NewPlusState(4)
+	ns, err := NewNoisyState(noisyBase, NoiseModel{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	program := func(b interface {
+		ApplyH(int)
+		ApplyRZZ(int, int, float64)
+		ApplyRX(int, float64)
+		ApplyCNOT(int, int)
+	}) {
+		b.ApplyH(0)
+		b.ApplyRZZ(0, 2, 0.7)
+		b.ApplyRX(1, 0.3)
+		b.ApplyCNOT(2, 3)
+	}
+	program(clean)
+	program(ns)
+	if f := Fidelity(clean, ns.S); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("zero noise changed the state: fidelity %v", f)
+	}
+	if ns.Injections != 0 {
+		t.Fatalf("zero noise injected %d errors", ns.Injections)
+	}
+}
+
+func TestCertainNoiseAlwaysInjects(t *testing.T) {
+	s, _ := NewPlusState(3)
+	ns, err := NewNoisyState(s, NoiseModel{OneQubit: 1, TwoQubit: 1}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.ApplyH(0)
+	ns.ApplyRZZ(0, 1, 0.5)
+	ns.ApplyCNOT(1, 2)
+	if ns.Injections != 3 {
+		t.Fatalf("injections %d want 3", ns.Injections)
+	}
+	if math.Abs(s.NormSquared()-1) > 1e-9 {
+		t.Fatalf("noise broke normalization: %v", s.NormSquared())
+	}
+}
+
+func TestNoiseInjectionRate(t *testing.T) {
+	// Over many gates the injection count concentrates near p·gates.
+	s, _ := NewPlusState(4)
+	p := 0.3
+	ns, err := NewNoisyState(s, NoiseModel{OneQubit: p}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gates = 4000
+	for i := 0; i < gates; i++ {
+		ns.ApplyRX(i%4, 0.01)
+	}
+	want := p * gates
+	sigma := math.Sqrt(gates * p * (1 - p))
+	if math.Abs(float64(ns.Injections)-want) > 5*sigma {
+		t.Fatalf("injections %d want %v ± %v", ns.Injections, want, 5*sigma)
+	}
+}
+
+func TestNoiseTrajectoriesDiffer(t *testing.T) {
+	run := func(seed uint64) *State {
+		s, _ := NewPlusState(4)
+		ns, _ := NewNoisyState(s, NoiseModel{OneQubit: 0.3, TwoQubit: 0.3}, rng.New(seed))
+		ns.ApplyH(0)
+		ns.ApplyRZZ(0, 1, 0.4)
+		ns.ApplyCNOT(1, 2)
+		ns.ApplyRX(3, 0.9)
+		return s
+	}
+	a, b := run(10), run(11)
+	if f := Fidelity(a, b); math.Abs(f-1) < 1e-12 {
+		t.Fatal("different trajectories produced identical states")
+	}
+	// Same seed reproduces the trajectory exactly.
+	c, d := run(12), run(12)
+	if f := Fidelity(c, d); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("same-seed trajectories differ: fidelity %v", f)
+	}
+}

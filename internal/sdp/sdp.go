@@ -1,0 +1,282 @@
+// Package sdp solves the MaxCut semidefinite program
+//
+//	maximize   ¼ ⟨L, X⟩   subject to   diag(X) = 1,  X ⪰ 0,
+//
+// the relaxation at the heart of the Goemans-Williamson algorithm. The
+// paper solves it with cvxpy's splitting conic solver (SCS); this
+// package provides two from-scratch substitutes:
+//
+//   - ADMM: an operator-splitting method in the same family as SCS,
+//     alternating a linear update on the diag-constrained block with a
+//     projection onto the PSD cone (Jacobi eigendecomposition). Exact
+//     but O(n³) per iteration — the small-subgraph workhorse.
+//
+//   - Mixing: the Burer-Monteiro low-rank coordinate-ascent "mixing
+//     method" (Wang & Kolter), which maintains unit-norm vectors
+//     v_i ∈ R^k and recovers the SDP optimum for k ≳ √(2n) while
+//     scaling to the 500-2500-node graphs of the paper's Fig. 4, where
+//     the reference SCS build aborted beyond 2000 nodes.
+package sdp
+
+import (
+	"fmt"
+	"math"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/linalg"
+	"qaoa2/internal/rng"
+)
+
+// Method selects the SDP solver.
+type Method int
+
+const (
+	// Auto picks ADMM below AutoADMMLimit nodes and Mixing above.
+	Auto Method = iota
+	// ADMM is the eigenprojection operator-splitting solver.
+	ADMM
+	// Mixing is the Burer-Monteiro low-rank coordinate ascent solver.
+	Mixing
+)
+
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case ADMM:
+		return "admm"
+	case Mixing:
+		return "mixing"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// AutoADMMLimit is the node count above which Auto switches from ADMM to
+// the mixing method (eigendecompositions beyond this order dominate the
+// run time).
+const AutoADMMLimit = 120
+
+// Options configures Solve.
+type Options struct {
+	Method   Method
+	MaxIters int     // iteration/sweep budget (default 600 ADMM, 300 mixing)
+	Tol      float64 // relative convergence tolerance (default 1e-6)
+	Rho      float64 // ADMM penalty parameter (default 1)
+	Rank     int     // mixing rank k (default ceil(sqrt(2n))+1)
+	Seed     uint64  // mixing initialization seed
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Rho <= 0 {
+		o.Rho = 1
+	}
+	if o.Rank <= 0 {
+		o.Rank = int(math.Ceil(math.Sqrt(2*float64(n)))) + 1
+	}
+	if o.Rank > n && n > 0 {
+		o.Rank = n
+	}
+	if o.Rank < 1 {
+		o.Rank = 1
+	}
+	return o
+}
+
+// Result is a solved MaxCut SDP.
+type Result struct {
+	// Vectors holds the unit-norm embedding v_i as row i; GW rounding
+	// consumes these directly.
+	Vectors *linalg.Mat
+	// Value is the SDP objective Σ_{(i,j)∈E} w_ij (1 − v_i·v_j)/2, an
+	// upper bound on the maximum cut (for non-negative weights).
+	Value      float64
+	Iterations int
+	Converged  bool
+	Method     Method
+}
+
+// Solve solves the MaxCut SDP for g.
+func Solve(g *graph.Graph, opts Options) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return &Result{Vectors: linalg.NewMat(0, 1), Value: 0, Converged: true, Method: opts.Method}, nil
+	}
+	method := opts.Method
+	if method == Auto {
+		if n <= AutoADMMLimit {
+			method = ADMM
+		} else {
+			method = Mixing
+		}
+	}
+	switch method {
+	case ADMM:
+		return solveADMM(g, opts.withDefaults(n))
+	case Mixing:
+		return solveMixing(g, opts.withDefaults(n))
+	default:
+		return nil, fmt.Errorf("sdp: unknown method %v", opts.Method)
+	}
+}
+
+// VectorObjective evaluates Σ w_ij (1 − v_i·v_j)/2 for unit rows of v.
+func VectorObjective(g *graph.Graph, v *linalg.Mat) float64 {
+	s := 0.0
+	for _, e := range g.Edges() {
+		s += e.W * (1 - linalg.Dot(v.Row(e.I), v.Row(e.J))) / 2
+	}
+	return s
+}
+
+// solveADMM minimizes −⟨C, X⟩ with C = L/4 over {diag(X)=1} ∩ PSD via
+// the standard two-block splitting
+//
+//	X ← Π_{diag=1}(Z − U + C/ρ),   Z ← Π_PSD(X + U),   U ← U + X − Z.
+func solveADMM(g *graph.Graph, opts Options) (*Result, error) {
+	n := g.N()
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 600
+	}
+	c := g.Laplacian()
+	c.Scale(1.0 / 4.0)
+
+	x := linalg.Identity(n)
+	z := linalg.Identity(n)
+	u := linalg.NewDense(n)
+	zPrev := linalg.NewDense(n)
+	scratch := linalg.NewDense(n)
+
+	rho := opts.Rho
+	iter := 0
+	converged := false
+	for ; iter < opts.MaxIters; iter++ {
+		// X-update: affine projection onto diag(X)=1 of Z − U + C/ρ.
+		x.CopyFrom(z)
+		x.AxpyMat(-1, u)
+		x.AxpyMat(1/rho, c)
+		for i := 0; i < n; i++ {
+			x.Set(i, i, 1)
+		}
+		// Z-update: PSD projection of X + U.
+		zPrev.CopyFrom(z)
+		z.CopyFrom(x)
+		z.AxpyMat(1, u)
+		linalg.ProjectPSD(z)
+		// U-update (scaled dual).
+		u.AxpyMat(1, x)
+		u.AxpyMat(-1, z)
+
+		// Residuals.
+		scratch.CopyFrom(x)
+		scratch.AxpyMat(-1, z)
+		primal := scratch.FrobeniusNorm()
+		scratch.CopyFrom(z)
+		scratch.AxpyMat(-1, zPrev)
+		dual := rho * scratch.FrobeniusNorm()
+		scale := math.Max(1, x.FrobeniusNorm())
+		if primal <= opts.Tol*scale && dual <= opts.Tol*scale {
+			converged = true
+			iter++
+			break
+		}
+	}
+
+	// Z is the PSD iterate; its diagonal is ≈1 at convergence, and the
+	// row normalization below absorbs the residual deviation.
+	vec := linalg.GramFactor(z)
+	normalizeRows(vec)
+	return &Result{
+		Vectors:    vec,
+		Value:      VectorObjective(g, vec),
+		Iterations: iter,
+		Converged:  converged,
+		Method:     ADMM,
+	}, nil
+}
+
+// solveMixing runs Burer-Monteiro coordinate ascent: each node vector is
+// repeatedly set to the unit vector opposing the weighted sum of its
+// neighbors, which is the exact per-coordinate maximizer of the SDP
+// objective.
+func solveMixing(g *graph.Graph, opts Options) (*Result, error) {
+	n := g.N()
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 300
+	}
+	k := opts.Rank
+	r := rng.New(opts.Seed ^ 0x5dee5dee5dee5dee)
+	v := linalg.NewMat(n, k)
+	for i := 0; i < n; i++ {
+		row := v.Row(i)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		normalizeRow(row)
+	}
+
+	obj := VectorObjective(g, v)
+	iter := 0
+	converged := false
+	gvec := make([]float64, k)
+	for ; iter < opts.MaxIters; iter++ {
+		for i := 0; i < n; i++ {
+			neighbors := g.Neighbors(i)
+			if len(neighbors) == 0 {
+				continue
+			}
+			for j := range gvec {
+				gvec[j] = 0
+			}
+			for _, h := range neighbors {
+				linalg.Axpy(h.W, v.Row(h.To), gvec)
+			}
+			norm := linalg.Norm2(gvec)
+			if norm <= 1e-300 {
+				continue // gradient vanished; keep current vector
+			}
+			row := v.Row(i)
+			for j := range row {
+				row[j] = -gvec[j] / norm
+			}
+		}
+		next := VectorObjective(g, v)
+		if math.Abs(next-obj) <= opts.Tol*math.Max(1, math.Abs(next)) {
+			obj = next
+			converged = true
+			iter++
+			break
+		}
+		obj = next
+	}
+	return &Result{
+		Vectors:    v,
+		Value:      obj,
+		Iterations: iter,
+		Converged:  converged,
+		Method:     Mixing,
+	}, nil
+}
+
+func normalizeRow(row []float64) {
+	norm := linalg.Norm2(row)
+	if norm <= 1e-300 {
+		row[0] = 1
+		for j := 1; j < len(row); j++ {
+			row[j] = 0
+		}
+		return
+	}
+	for j := range row {
+		row[j] /= norm
+	}
+}
+
+func normalizeRows(m *linalg.Mat) {
+	for i := 0; i < m.Rows; i++ {
+		normalizeRow(m.Row(i))
+	}
+}

@@ -1,0 +1,302 @@
+// Package synth is the circuit-synthesis engine standing in for the
+// Classiq platform (paper §3.5): it takes a high-level combinatorial
+// optimization model (a MaxCut graph and a QAOA layer count) plus
+// optimization preferences, considers several gate-level
+// implementations, and emits the best one according to the requested
+// objective — circuit depth, two-qubit gate count — optionally lowering
+// to a CNOT basis and routing for linear hardware connectivity.
+//
+// The synthesized artifact is a Template: a concrete circuit whose
+// rotation angles are parameter slots bound to (γ⃗, β⃗) on each optimizer
+// iteration without re-synthesizing.
+package synth
+
+import (
+	"fmt"
+
+	"qaoa2/internal/circuit"
+	"qaoa2/internal/graph"
+)
+
+// Objective selects what the synthesis engine minimizes.
+type Objective int
+
+const (
+	// ObjectiveNone emits the naive implementation (edges in natural
+	// order), the baseline a manual construction would produce.
+	ObjectiveNone Objective = iota
+	// MinimizeDepth packs commuting cost gates via greedy edge coloring.
+	MinimizeDepth
+	// MinimizeTwoQubit minimizes two-qubit gate count (ties: depth).
+	MinimizeTwoQubit
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveNone:
+		return "none"
+	case MinimizeDepth:
+		return "min-depth"
+	case MinimizeTwoQubit:
+		return "min-2q"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Basis selects the target gate set.
+type Basis int
+
+const (
+	// BasisNative keeps RZZ as a primitive (simulator-friendly).
+	BasisNative Basis = iota
+	// BasisCX lowers RZZ to CNOT·RZ·CNOT (hardware-friendly).
+	BasisCX
+)
+
+// Connectivity selects the hardware coupling constraint.
+type Connectivity int
+
+const (
+	// AllToAll imposes no routing constraint.
+	AllToAll Connectivity = iota
+	// Linear restricts two-qubit gates to nearest neighbors on a line,
+	// inserting SWAPs as needed.
+	Linear
+)
+
+// Preferences are the synthesis-engine knobs ("optimization preferences
+// and global constraints" in the paper's wording).
+type Preferences struct {
+	Objective    Objective
+	Basis        Basis
+	Connectivity Connectivity
+}
+
+// Model is the high-level problem description: QAOA for MaxCut on a
+// graph with a given number of ansatz layers.
+type Model struct {
+	Graph  *graph.Graph
+	Layers int
+}
+
+// Report summarizes the chosen implementation.
+type Report struct {
+	Depth                int
+	TwoQubitGates        int
+	TotalGates           int
+	SwapCount            int
+	CandidatesConsidered int
+}
+
+// slot binds one parameterized gate to a QAOA variational parameter.
+type slot struct {
+	gate    int     // index into Template.Circuit.Gates
+	layer   int     // QAOA layer index
+	isGamma bool    // cost (γ) vs mixer (β) parameter
+	scale   float64 // angle = scale · parameter
+}
+
+// Template is a synthesized ansatz with rebindable parameters.
+type Template struct {
+	Circuit *circuit.Circuit
+	N       int
+	Layers  int
+	// Layout maps logical qubit -> physical wire after routing
+	// (identity for AllToAll). Measurement bit layout[q] belongs to
+	// logical qubit q.
+	Layout []int
+	Report Report
+	slots  []slot
+}
+
+// BuildTemplate synthesizes the QAOA ansatz for the model under the
+// preferences, considering one implementation per candidate edge
+// ordering and keeping the best per the objective.
+func BuildTemplate(m Model, prefs Preferences) (*Template, error) {
+	if m.Graph == nil {
+		return nil, fmt.Errorf("synth: nil graph")
+	}
+	if m.Graph.N() < 1 {
+		return nil, fmt.Errorf("synth: graph must have at least one node")
+	}
+	if m.Layers < 1 {
+		return nil, fmt.Errorf("synth: need at least one QAOA layer, got %d", m.Layers)
+	}
+
+	orders := candidateOrders(m.Graph, prefs.Objective)
+	var best *Template
+	for _, order := range orders {
+		t, err := emit(m, prefs, order)
+		if err != nil {
+			return nil, err
+		}
+		t.Report.CandidatesConsidered = len(orders)
+		if best == nil || better(prefs.Objective, t.Report, best.Report) {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// better reports whether a beats b for the objective.
+func better(o Objective, a, b Report) bool {
+	switch o {
+	case MinimizeDepth:
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		return a.TwoQubitGates < b.TwoQubitGates
+	case MinimizeTwoQubit:
+		if a.TwoQubitGates != b.TwoQubitGates {
+			return a.TwoQubitGates < b.TwoQubitGates
+		}
+		return a.Depth < b.Depth
+	default:
+		return false // first candidate wins
+	}
+}
+
+// candidateOrders returns the edge orderings the engine considers:
+// always the natural order, plus the greedy-edge-coloring order when an
+// objective asks for optimization.
+func candidateOrders(g *graph.Graph, o Objective) [][]graph.Edge {
+	natural := append([]graph.Edge(nil), g.Edges()...)
+	if o == ObjectiveNone {
+		return [][]graph.Edge{natural}
+	}
+	return [][]graph.Edge{natural, ColorOrder(g)}
+}
+
+// ColorOrder returns the graph's edges grouped by greedy edge coloring:
+// within each color class no two edges share a node, so the
+// corresponding RZZ gates execute in a single depth layer. Exposed for
+// the synthesis-ablation experiment.
+func ColorOrder(g *graph.Graph) []graph.Edge {
+	n := g.N()
+	used := make([][]bool, n)
+	colorAt := func(q, c int) bool { return c < len(used[q]) && used[q][c] }
+	mark := func(q, c int) {
+		for len(used[q]) <= c {
+			used[q] = append(used[q], false)
+		}
+		used[q][c] = true
+	}
+	edges := g.Edges()
+	colorOf := make([]int, len(edges))
+	maxColor := 0
+	for i, e := range edges {
+		c := 0
+		for colorAt(e.I, c) || colorAt(e.J, c) {
+			c++
+		}
+		colorOf[i] = c
+		mark(e.I, c)
+		mark(e.J, c)
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	out := make([]graph.Edge, 0, len(edges))
+	for c := 0; c < maxColor; c++ {
+		for i, e := range edges {
+			if colorOf[i] == c {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// emit constructs one concrete implementation for a fixed edge order.
+func emit(m Model, prefs Preferences, order []graph.Edge) (*Template, error) {
+	n := m.Graph.N()
+	c := circuit.New(n)
+	var slots []slot
+
+	// Initial |+>^n wall.
+	for q := 0; q < n; q++ {
+		c.AddH(q)
+	}
+	for layer := 0; layer < m.Layers; layer++ {
+		// Cost layer: e^{-iγ H_C} ≅ Π_e RZZ(-γ w_e) up to global phase.
+		for _, e := range order {
+			switch prefs.Basis {
+			case BasisNative:
+				c.AddRZZ(e.I, e.J, 0)
+				slots = append(slots, slot{gate: len(c.Gates) - 1, layer: layer, isGamma: true, scale: -e.W})
+			case BasisCX:
+				c.AddCNOT(e.I, e.J)
+				c.AddRZ(e.J, 0)
+				slots = append(slots, slot{gate: len(c.Gates) - 1, layer: layer, isGamma: true, scale: -e.W})
+				c.AddCNOT(e.I, e.J)
+			default:
+				return nil, fmt.Errorf("synth: unknown basis %d", prefs.Basis)
+			}
+		}
+		// Mixer layer: e^{-iβ H_M} = Π_q RX(2β).
+		for q := 0; q < n; q++ {
+			c.AddRX(q, 0)
+			slots = append(slots, slot{gate: len(c.Gates) - 1, layer: layer, isGamma: false, scale: 2})
+		}
+	}
+
+	layout := make([]int, n)
+	for q := range layout {
+		layout[q] = q
+	}
+	if prefs.Connectivity == Linear {
+		routed, indexMap, finalLayout := circuit.RouteLinear(c)
+		for i := range slots {
+			slots[i].gate = indexMap[slots[i].gate]
+		}
+		c = routed
+		layout = finalLayout
+	}
+
+	t := &Template{
+		Circuit: c,
+		N:       n,
+		Layers:  m.Layers,
+		Layout:  layout,
+		slots:   slots,
+	}
+	t.Report = Report{
+		Depth:         c.Depth(),
+		TwoQubitGates: c.TwoQubitCount(),
+		TotalGates:    len(c.Gates),
+		SwapCount:     c.GateCounts()[circuit.SWAP],
+	}
+	return t, nil
+}
+
+// Bind writes the variational parameters into the template's gate
+// angles. It must be called before every execution; len(gammas) and
+// len(betas) must equal Layers.
+func (t *Template) Bind(gammas, betas []float64) error {
+	if len(gammas) != t.Layers || len(betas) != t.Layers {
+		return fmt.Errorf("synth: Bind needs %d gammas and betas, got %d and %d",
+			t.Layers, len(gammas), len(betas))
+	}
+	for _, s := range t.slots {
+		p := betas[s.layer]
+		if s.isGamma {
+			p = gammas[s.layer]
+		}
+		t.Circuit.Gates[s.gate].Param = s.scale * p
+	}
+	return nil
+}
+
+// Synthesize is the one-shot convenience API: build a template, bind the
+// parameters, and return the concrete circuit plus its report.
+func Synthesize(m Model, prefs Preferences, gammas, betas []float64) (*circuit.Circuit, Report, error) {
+	t, err := BuildTemplate(m, prefs)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if err := t.Bind(gammas, betas); err != nil {
+		return nil, Report{}, err
+	}
+	return t.Circuit, t.Report, nil
+}

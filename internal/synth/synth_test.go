@@ -1,0 +1,288 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/circuit"
+	"qaoa2/internal/graph"
+	"qaoa2/internal/qsim"
+	"qaoa2/internal/rng"
+)
+
+func TestBuildTemplateValidation(t *testing.T) {
+	if _, err := BuildTemplate(Model{Graph: nil, Layers: 1}, Preferences{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := BuildTemplate(Model{Graph: graph.New(0), Layers: 1}, Preferences{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := BuildTemplate(Model{Graph: graph.Complete(2), Layers: 0}, Preferences{}); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+}
+
+func TestTemplateGateStructure(t *testing.T) {
+	g := graph.Complete(4) // 6 edges
+	p := 3
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: p}, Preferences{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tpl.Circuit.GateCounts()
+	if counts[circuit.H] != 4 {
+		t.Fatalf("H count %d want 4", counts[circuit.H])
+	}
+	if counts[circuit.RZZ] != p*6 {
+		t.Fatalf("RZZ count %d want %d", counts[circuit.RZZ], p*6)
+	}
+	if counts[circuit.RX] != p*4 {
+		t.Fatalf("RX count %d want %d", counts[circuit.RX], p*4)
+	}
+	if tpl.Report.TotalGates != 4+p*6+p*4 {
+		t.Fatalf("total gates %d", tpl.Report.TotalGates)
+	}
+}
+
+func TestBindParameterPropagation(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 2.5)
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: 2}, Preferences{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas := []float64{0.3, 0.7}
+	betas := []float64{0.1, 0.2}
+	if err := tpl.Bind(gammas, betas); err != nil {
+		t.Fatal(err)
+	}
+	// Find RZZ gates: angle must be -γ_l · w.
+	var rzz, rx []float64
+	for _, gate := range tpl.Circuit.Gates {
+		switch gate.Kind {
+		case circuit.RZZ:
+			rzz = append(rzz, gate.Param)
+		case circuit.RX:
+			rx = append(rx, gate.Param)
+		}
+	}
+	if len(rzz) != 2 || math.Abs(rzz[0]-(-0.3*2.5)) > 1e-15 || math.Abs(rzz[1]-(-0.7*2.5)) > 1e-15 {
+		t.Fatalf("rzz params %v", rzz)
+	}
+	if len(rx) != 4 || math.Abs(rx[0]-0.2) > 1e-15 || math.Abs(rx[2]-0.4) > 1e-15 {
+		t.Fatalf("rx params %v", rx)
+	}
+}
+
+func TestBindLengthValidation(t *testing.T) {
+	tpl, err := BuildTemplate(Model{Graph: graph.Complete(3), Layers: 2}, Preferences{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Bind([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("short gammas accepted")
+	}
+	if err := tpl.Bind([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("short betas accepted")
+	}
+}
+
+func TestMinimizeDepthBeatsNaiveOnPath(t *testing.T) {
+	// Path graph: naive edge order serializes the cost layer, coloring
+	// halves it.
+	g := graph.Path(8)
+	naive, err := BuildTemplate(Model{Graph: g, Layers: 1}, Preferences{Objective: ObjectiveNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := BuildTemplate(Model{Graph: g, Layers: 1}, Preferences{Objective: MinimizeDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Report.Depth >= naive.Report.Depth {
+		t.Fatalf("min-depth %d not better than naive %d", opt.Report.Depth, naive.Report.Depth)
+	}
+	if opt.Report.CandidatesConsidered < 2 {
+		t.Fatalf("candidates considered %d", opt.Report.CandidatesConsidered)
+	}
+}
+
+func TestColorOrderIsValidColoring(t *testing.T) {
+	r := rng.New(3)
+	g := graph.ErdosRenyi(12, 0.4, graph.Unweighted, r)
+	ordered := ColorOrder(g)
+	if len(ordered) != g.M() {
+		t.Fatalf("color order lost edges: %d vs %d", len(ordered), g.M())
+	}
+	// Same multiset of edges.
+	seen := make(map[[2]int]int)
+	for _, e := range g.Edges() {
+		seen[[2]int{e.I, e.J}]++
+	}
+	for _, e := range ordered {
+		seen[[2]int{e.I, e.J}]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("edge %v count mismatch %d", k, v)
+		}
+	}
+}
+
+func TestBasisCXLowering(t *testing.T) {
+	g := graph.Complete(3)
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: 2}, Preferences{Basis: BasisCX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tpl.Circuit.GateCounts()
+	if counts[circuit.RZZ] != 0 {
+		t.Fatal("CX basis kept RZZ gates")
+	}
+	if counts[circuit.CNOT] != 2*2*3 {
+		t.Fatalf("CNOT count %d want 12", counts[circuit.CNOT])
+	}
+	if tpl.Report.TwoQubitGates != 12 {
+		t.Fatalf("2q count %d", tpl.Report.TwoQubitGates)
+	}
+}
+
+func TestNativeVsCXSameState(t *testing.T) {
+	g := graph.ErdosRenyi(5, 0.6, graph.UniformWeights, rng.New(7))
+	gammas := []float64{0.4, 0.9}
+	betas := []float64{0.2, 0.5}
+	cn, _, err := Synthesize(Model{Graph: g, Layers: 2}, Preferences{Basis: BasisNative}, gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, _, err := Synthesize(Model{Graph: g, Layers: 2}, Preferences{Basis: BasisCX}, gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := qsim.NewState(5)
+	b, _ := qsim.NewState(5)
+	cn.Apply(a)
+	cx.Apply(b)
+	if f := qsim.Fidelity(a, b); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("native vs CX fidelity %v", f)
+	}
+}
+
+func TestLinearConnectivityAdjacent(t *testing.T) {
+	g := graph.Complete(5)
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: 1},
+		Preferences{Connectivity: Linear, Basis: BasisCX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gate := range tpl.Circuit.Gates {
+		if gate.Qubits() == 2 {
+			d := gate.Q0 - gate.Q1
+			if d != 1 && d != -1 {
+				t.Fatalf("non-adjacent 2q gate after linear synthesis: %v", gate)
+			}
+		}
+	}
+	if tpl.Report.SwapCount == 0 {
+		t.Fatal("K5 on a line must need swaps")
+	}
+}
+
+func TestLinearRoutingPreservesSemantics(t *testing.T) {
+	// Expectation of the cut Hamiltonian must agree between the
+	// all-to-all and routed circuits once the layout is unwound.
+	g := graph.ErdosRenyi(4, 0.8, graph.Unweighted, rng.New(9))
+	gammas := []float64{0.37}
+	betas := []float64{0.21}
+
+	flat, _, err := Synthesize(Model{Graph: g, Layers: 1}, Preferences{}, gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: 1}, Preferences{Connectivity: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Bind(gammas, betas); err != nil {
+		t.Fatal(err)
+	}
+
+	sa, _ := qsim.NewState(4)
+	flat.Apply(sa)
+	sb, _ := qsim.NewState(4)
+	tpl.Circuit.Apply(sb)
+
+	for x := 0; x < sa.Len(); x++ {
+		var y uint64
+		for q := 0; q < 4; q++ {
+			if uint64(x)>>uint(q)&1 == 1 {
+				y |= 1 << uint(tpl.Layout[q])
+			}
+		}
+		pa, pb := sa.Probability(uint64(x)), sb.Probability(y)
+		if math.Abs(pa-pb) > 1e-9 {
+			t.Fatalf("probability mismatch at %d: %v vs %v", x, pa, pb)
+		}
+	}
+}
+
+func TestRebindMatchesFreshBuild(t *testing.T) {
+	g := graph.ErdosRenyi(5, 0.5, graph.UniformWeights, rng.New(10))
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: 2}, Preferences{Objective: MinimizeDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bind once, then rebind with the real parameters.
+	if err := tpl.Bind([]float64{9, 9}, []float64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	gammas := []float64{0.11, 0.22}
+	betas := []float64{0.33, 0.44}
+	if err := tpl.Bind(gammas, betas); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := Synthesize(Model{Graph: g, Layers: 2}, Preferences{Objective: MinimizeDepth}, gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := qsim.NewState(5)
+	b, _ := qsim.NewState(5)
+	tpl.Circuit.Apply(a)
+	fresh.Apply(b)
+	if f := qsim.Fidelity(a, b); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("rebind fidelity %v", f)
+	}
+}
+
+func TestMinimizeTwoQubitPrefersNative(t *testing.T) {
+	g := graph.Complete(4)
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: 1}, Preferences{Objective: MinimizeTwoQubit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Report.TwoQubitGates != 6 {
+		t.Fatalf("2q gates %d want 6 (one RZZ per edge)", tpl.Report.TwoQubitGates)
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.New(1)
+	tpl, err := BuildTemplate(Model{Graph: g, Layers: 1}, Preferences{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Bind([]float64{0.5}, []float64{0.2}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := qsim.NewState(1)
+	tpl.Circuit.Apply(s) // H then RX: must stay normalized
+	if math.Abs(s.NormSquared()-1) > 1e-12 {
+		t.Fatal("single-node ansatz corrupt")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if ObjectiveNone.String() != "none" || MinimizeDepth.String() != "min-depth" || MinimizeTwoQubit.String() != "min-2q" {
+		t.Fatal("objective strings broken")
+	}
+}

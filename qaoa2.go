@@ -1,0 +1,237 @@
+// Package qaoa2 is a pure-Go reproduction of "Hybrid Classical-Quantum
+// Simulation of MaxCut using QAOA-in-QAOA" (Esposito & Danzig, 2024):
+// the QAOA² divide-and-conquer MaxCut solver together with every
+// substrate it needs — a statevector quantum simulator, a
+// Classiq-style circuit synthesis engine, a COBYLA optimizer, a
+// Goemans-Williamson implementation with from-scratch SDP solvers,
+// greedy-modularity graph partitioning, and a SLURM/MPI-style workflow
+// simulator.
+//
+// This package is the public facade: it re-exports the stable surface
+// of the internal packages so downstream users import a single path.
+//
+//	g := qaoa2.ErdosRenyi(500, 0.1, qaoa2.Unweighted, qaoa2.NewRand(1))
+//	res, err := qaoa2.Solve(g, qaoa2.Options{
+//		MaxQubits: 16,
+//		Solver:    qaoa2.BestOfSolver{Solvers: []qaoa2.SubSolver{
+//			qaoa2.QAOASolver{}, qaoa2.GWSolver{},
+//		}},
+//	})
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-reproduction results.
+package qaoa2
+
+import (
+	"qaoa2/internal/graph"
+	"qaoa2/internal/gw"
+	"qaoa2/internal/hpc"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/paraminit"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/qaoa2"
+	"qaoa2/internal/qsim"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/rqaoa"
+	"qaoa2/internal/sdp"
+	"qaoa2/internal/synth"
+)
+
+// Graph types and generators.
+type (
+	// Graph is a weighted undirected graph over nodes 0..N-1.
+	Graph = graph.Graph
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// Weighting selects the generated edge-weight distribution.
+	Weighting = graph.Weighting
+	// Rand is the deterministic random generator used everywhere.
+	Rand = rng.Rand
+)
+
+// Weight distributions for generated graphs.
+const (
+	// Unweighted assigns weight 1 to every edge.
+	Unweighted = graph.Unweighted
+	// UniformWeights draws weights uniformly from [0, 1).
+	UniformWeights = graph.UniformWeights
+)
+
+// NewGraph creates an empty graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewRand returns a deterministic random generator for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// ErdosRenyi samples the G(n,p) random graph family used throughout the
+// paper's evaluation.
+func ErdosRenyi(n int, p float64, w Weighting, r *Rand) *Graph {
+	return graph.ErdosRenyi(n, p, w, r)
+}
+
+// Cut results and classical baselines.
+type (
+	// Cut is a bipartition with its cut value.
+	Cut = maxcut.Cut
+	// AnnealOptions configures SimulatedAnnealing.
+	AnnealOptions = maxcut.AnnealOptions
+)
+
+// BruteForce solves MaxCut exactly (≤ 30 nodes).
+func BruteForce(g *Graph) (Cut, error) { return maxcut.BruteForce(g) }
+
+// RandomCut returns the best of `trials` random bipartitions.
+func RandomCut(g *Graph, trials int, r *Rand) Cut { return maxcut.RandomCut(g, trials, r) }
+
+// OneExchange runs the 1-swap local search baseline.
+func OneExchange(g *Graph, r *Rand) Cut { return maxcut.OneExchange(g, r) }
+
+// SimulatedAnnealing runs Metropolis annealing for MaxCut.
+func SimulatedAnnealing(g *Graph, opts AnnealOptions, r *Rand) Cut {
+	return maxcut.SimulatedAnnealing(g, opts, r)
+}
+
+// QAOA (single-device) solver.
+type (
+	// QAOAOptions configures a QAOA run.
+	QAOAOptions = qaoa.Options
+	// QAOAResult reports a QAOA run.
+	QAOAResult = qaoa.Result
+	// SynthPreferences forwards synthesis-engine preferences.
+	SynthPreferences = synth.Preferences
+)
+
+// SolveQAOA runs the variational QAOA MaxCut solver on a single
+// (simulated) quantum device.
+func SolveQAOA(g *Graph, opts QAOAOptions, r *Rand) (*QAOAResult, error) {
+	return qaoa.Solve(g, opts, r)
+}
+
+// Goemans-Williamson.
+type (
+	// GWOptions configures SolveGW.
+	GWOptions = gw.Options
+	// GWResult reports a GW run.
+	GWResult = gw.Result
+	// SDPOptions configures the underlying SDP solver.
+	SDPOptions = sdp.Options
+)
+
+// SolveGW runs Goemans-Williamson (SDP + 30-fold hyperplane rounding).
+func SolveGW(g *Graph, opts GWOptions, r *Rand) (*GWResult, error) {
+	return gw.Solve(g, opts, r)
+}
+
+// QAOA² divide-and-conquer.
+type (
+	// Options configures the QAOA² solver.
+	Options = qaoa2.Options
+	// Result reports a QAOA² run.
+	Result = qaoa2.Result
+	// SubSolver is the pluggable per-sub-graph solver interface.
+	SubSolver = qaoa2.SubSolver
+	// QAOASolver solves sub-graphs with simulated QAOA.
+	QAOASolver = qaoa2.QAOASolver
+	// GWSolver solves sub-graphs classically with GW.
+	GWSolver = qaoa2.GWSolver
+	// BestOfSolver keeps the best cut among its inner solvers.
+	BestOfSolver = qaoa2.BestOfSolver
+	// RandomSolver is the random-partition baseline solver.
+	RandomSolver = qaoa2.RandomSolver
+	// AnnealSolver solves sub-graphs with simulated annealing.
+	AnnealSolver = qaoa2.AnnealSolver
+	// ExactSolver brute-forces sub-graphs (tests, small merges).
+	ExactSolver = qaoa2.ExactSolver
+)
+
+// Solve runs the QAOA² divide-and-conquer MaxCut solver.
+func Solve(g *Graph, opts Options) (*Result, error) { return qaoa2.Solve(g, opts) }
+
+// RQAOA extension.
+type (
+	// RQAOAOptions configures SolveRQAOA.
+	RQAOAOptions = rqaoa.Options
+	// RQAOAResult reports an RQAOA run.
+	RQAOAResult = rqaoa.Result
+)
+
+// SolveRQAOA runs recursive QAOA (correlation-based variable
+// elimination).
+func SolveRQAOA(g *Graph, opts RQAOAOptions, r *Rand) (*RQAOAResult, error) {
+	return rqaoa.Solve(g, opts, r)
+}
+
+// HPC workflow front end.
+type (
+	// CoordinatedOptions configures the Fig. 2 coordinator workflow.
+	CoordinatedOptions = hpc.CoordinatedOptions
+	// CoordinatedResult reports a coordinated run.
+	CoordinatedResult = hpc.CoordinatedResult
+	// Policy selects a solver per sub-graph at run time.
+	Policy = hpc.Policy
+)
+
+// CoordinatedSolve runs QAOA² as a coordinator/worker message-passing
+// workflow (the paper's Fig. 2 scheme).
+func CoordinatedSolve(g *Graph, opts CoordinatedOptions) (*CoordinatedResult, error) {
+	return hpc.CoordinatedSolve(g, opts)
+}
+
+// DensityPolicy routes sparse sub-graphs to the quantum solver and
+// dense ones to the classical solver, the naive rule the paper's grid
+// search motivates.
+func DensityPolicy(threshold float64, quantum, classical SubSolver) Policy {
+	return hpc.DensityPolicy(threshold, quantum, classical)
+}
+
+// NISQ noise (trajectory-sampled Pauli errors).
+type (
+	// NoiseModel is the per-gate stochastic Pauli error model.
+	NoiseModel = qsim.NoiseModel
+)
+
+// NoisyExpectation estimates ⟨H_C⟩ of a bound ansatz under noise,
+// averaged over quantum trajectories.
+func NoisyExpectation(g *Graph, gammas, betas []float64, model NoiseModel,
+	trajectories int, prefs SynthPreferences, r *Rand) (float64, error) {
+	return qaoa.NoisyExpectation(g, gammas, betas, model, trajectories, prefs, r)
+}
+
+// Learned warm starts (the "iterative-free QAOA" outlook).
+type (
+	// ParamPredictor regresses initial (γ⃗, β⃗) from graph features.
+	ParamPredictor = paraminit.Predictor
+	// ParamExample is one (features, optimized parameters) pair.
+	ParamExample = paraminit.Example
+	// ParamConfig configures TrainParamPredictor.
+	ParamConfig = paraminit.Config
+)
+
+// BuildParamDataset runs QAOA over the graphs and collects training
+// pairs for the warm-start predictor.
+func BuildParamDataset(graphs []*Graph, opts QAOAOptions, seed uint64) ([]ParamExample, error) {
+	return paraminit.BuildDataset(graphs, opts, seed)
+}
+
+// TrainParamPredictor fits the warm-start MLP on collected examples.
+func TrainParamPredictor(examples []ParamExample, cfg ParamConfig) (*ParamPredictor, error) {
+	return paraminit.Train(examples, cfg)
+}
+
+// Cluster scheduling (the SLURM-substitute simulator behind Fig. 1).
+type (
+	// Resources is an allocatable bundle of nodes and QPUs.
+	Resources = hpc.Resources
+	// Step is one phase of a hybrid job.
+	Step = hpc.Step
+	// Job is a sequential chain of steps, monolithic or heterogeneous.
+	Job = hpc.Job
+	// ScheduleMetrics summarizes a simulated schedule.
+	ScheduleMetrics = hpc.Metrics
+)
+
+// SimulateCluster runs the discrete-event SLURM-like scheduler over the
+// jobs and returns makespan/idle-time metrics.
+func SimulateCluster(cluster Resources, jobs []Job) (*ScheduleMetrics, error) {
+	return hpc.Simulate(cluster, jobs)
+}

@@ -460,6 +460,32 @@ func BenchmarkPartitionAblation(b *testing.B) {
 	printOnce("PartitionAblation", experiments.RenderPartitionAblation(rows))
 }
 
+// benchmarkBackendEvaluate measures one optimizer-loop objective
+// evaluation — the hot path of every QAOA² sub-graph solve — on a
+// 16-qubit p=3 ansatz (the paper's default qubit budget).
+func benchmarkBackendEvaluate(b *testing.B, be root.Backend) {
+	g := graph.ErdosRenyi(16, 0.5, graph.Unweighted, rng.New(99))
+	ans, err := be.Prepare(g, root.BackendConfig{Layers: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gammas, betas := qaoa.InitialParameters(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ans.Evaluate(gammas, betas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackendDense measures the reference synth→qsim gate walk.
+func BenchmarkBackendDense(b *testing.B) { benchmarkBackendEvaluate(b, root.DenseBackend{}) }
+
+// BenchmarkBackendFused measures the fused diagonal-cost backend; the
+// speedup over BenchmarkBackendDense is recorded in EXPERIMENTS.md.
+func BenchmarkBackendFused(b *testing.B) { benchmarkBackendEvaluate(b, root.FusedBackend{}) }
+
 // BenchmarkPublicAPIQuickstart exercises the facade end to end (also a
 // smoke test that the README quickstart stays honest).
 func BenchmarkPublicAPIQuickstart(b *testing.B) {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 
+	"qaoa2/internal/backend"
 	"qaoa2/internal/experiments"
 )
 
@@ -21,11 +22,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gridsearch: ")
 	var (
-		full   = flag.Bool("full", false, "run at paper scale (nodes 15-25, p 3-8, 4096 shots)")
-		table1 = flag.Bool("table1", false, "run the Table 1 high-qubit block instead of Fig. 3")
-		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
+		full     = flag.Bool("full", false, "run at paper scale (nodes 15-25, p 3-8, 4096 shots)")
+		table1   = flag.Bool("table1", false, "run the Table 1 high-qubit block instead of Fig. 3")
+		seed     = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
+		backendN = flag.String("backend", "", "QAOA circuit-execution backend: fused|dense|noisy (default: fused)")
 	)
 	flag.Parse()
+
+	be, err := backend.ByName(*backendN)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var cfg experiments.GridConfig
 	switch {
@@ -41,6 +48,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Backend = be
 
 	res, err := experiments.RunGrid(cfg)
 	if err != nil {

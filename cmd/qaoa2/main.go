@@ -7,6 +7,7 @@
 //
 //	qaoa2 -nodes 300 -prob 0.1 -solver best -maxqubits 12
 //	qaoa2 -in instance.txt -solver gw
+//	qaoa2 -nodes 200 -solver qaoa -backend dense   # reference gate walk
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		weighted  = flag.Bool("weighted", false, "draw edge weights uniformly from [0,1)")
 		inFile    = flag.String("in", "", "read the instance from a file instead of generating (format: 'n m' header, 'i j w' lines)")
 		maxQubits = flag.Int("maxqubits", 16, "qubit budget: maximum sub-graph size")
+		backendN  = flag.String("backend", "", "QAOA circuit-execution backend: fused|dense|noisy (default: fused)")
 		solver    = flag.String("solver", "best", "sub-graph solver: qaoa|gw|best|anneal|random|one-exchange")
 		merge     = flag.String("merge", "gw", "merge-graph solver: qaoa|gw|exact")
 		layers    = flag.Int("layers", 3, "QAOA ansatz layers p")
@@ -46,7 +48,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	qopts := qaoa.Options{Layers: *layers, MaxIters: *iters, Rhobeg: *rhobeg, Shots: *shots, Seed: *seed}
+	be, err := root.BackendByName(*backendN)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	qopts := qaoa.Options{
+		Layers: *layers, MaxIters: *iters, Rhobeg: *rhobeg, Shots: *shots,
+		Backend: be, Seed: *seed,
+	}
 	sub, err := pickSolver(*solver, qopts)
 	if err != nil {
 		log.Fatal(err)
@@ -60,6 +70,7 @@ func main() {
 		MaxQubits:   *maxQubits,
 		Solver:      sub,
 		MergeSolver: mrg,
+		Backend:     be,
 		Seed:        *seed,
 	})
 	if err != nil {

@@ -1,0 +1,3 @@
+module qaoa2
+
+go 1.24

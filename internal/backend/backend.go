@@ -1,0 +1,174 @@
+// Package backend defines the pluggable circuit-execution layer of the
+// simulator: the paper's hybrid workflow treats the quantum device as an
+// interchangeable resource, and this package is the software analogue —
+// every consumer (internal/qaoa's variational loop, and through it the
+// QAOA² sub-graph solvers) executes its ansatz through the Backend
+// interface instead of a hard-wired synth→qsim gate walk.
+//
+// Three implementations ship:
+//
+//   - Dense: the reference oracle — synthesizes a gate-level circuit via
+//     internal/synth and walks it gate by gate through internal/qsim,
+//     honoring synthesis preferences (basis, routing, objective).
+//
+//   - Fused: the fast path for noiseless simulation — exploits that the
+//     MaxCut cost Hamiltonian is diagonal (Lin et al., arXiv:2312.03019),
+//     precomputing its diagonal once per sub-graph and applying each
+//     γ-layer as a single element-wise phase pass, eliminating per-gate
+//     dispatch and circuit synthesis from the optimizer's inner loop.
+//
+//   - Noisy: trajectory-sampled Pauli noise around the Dense gate walk,
+//     the NISQ model of internal/qsim/noise.go.
+//
+// Future backends (sparse statevector, GPU, remote device) slot in
+// behind the same interface.
+package backend
+
+import (
+	"fmt"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/qsim"
+	"qaoa2/internal/synth"
+)
+
+// Config carries the ansatz parameters a Backend needs at Prepare time.
+type Config struct {
+	// Layers is the QAOA depth p (must be ≥ 1).
+	Layers int
+	// Synthesis forwards circuit-synthesis preferences; only backends
+	// that synthesize a gate-level circuit (Dense, Noisy) honor it.
+	Synthesis synth.Preferences
+	// Seed derives stochastic streams for backends that need randomness
+	// (noise trajectories); deterministic backends ignore it.
+	Seed uint64
+}
+
+// Ansatz is a prepared, executable QAOA ansatz for one graph. An Ansatz
+// is bound to the graph and depth it was prepared with; only the
+// variational parameters change between evaluations. Implementations
+// need not be safe for concurrent use — the QAOA² layer prepares one
+// Ansatz per worker.
+type Ansatz interface {
+	// Evaluate binds (γ⃗, β⃗), executes the ansatz, and returns the exact
+	// energy ⟨ψ|H_C|ψ⟩ together with the final statevector. The returned
+	// state may be a reused internal buffer: it is valid until the next
+	// Evaluate call on the same Ansatz; Clone it to keep it longer.
+	Evaluate(gammas, betas []float64) (float64, *qsim.State, error)
+	// Diagonal returns the H_C diagonal in the computational basis of
+	// the returned states (physical wire order): Diagonal()[x] is the
+	// cut value of bit string x.
+	Diagonal() []float64
+	// Layout maps logical node → physical wire of the returned states;
+	// nil means identity (no routing happened).
+	Layout() []int
+	// Report returns synthesis metrics; backends that skip gate-level
+	// synthesis return the zero Report.
+	Report() synth.Report
+}
+
+// Backend prepares executable ansätze. Implementations must be safe for
+// concurrent Prepare calls: QAOA² prepares sub-graph ansätze in
+// parallel.
+type Backend interface {
+	// Name labels the backend in reports and CLI flags.
+	Name() string
+	// Prepare compiles the ansatz for g at the configured depth.
+	Prepare(g *graph.Graph, cfg Config) (Ansatz, error)
+}
+
+// Default returns the backend used when options leave the choice open:
+// Fused for plain simulation, Dense when synthesis preferences are set —
+// the fused path bypasses circuit synthesis entirely, so explicitly
+// requested preferences (basis, routing, objective) imply the gate-walk
+// backend and its Report/Layout semantics.
+func Default(prefs synth.Preferences) Backend {
+	if prefs != (synth.Preferences{}) {
+		return Dense{}
+	}
+	return Fused{}
+}
+
+// ByName resolves a CLI backend name. The empty string selects the
+// Default rule at solve time (represented as a nil Backend).
+func ByName(name string) (Backend, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "fused":
+		return Fused{}, nil
+	case "dense":
+		return Dense{}, nil
+	case "noisy":
+		return Noisy{}, nil
+	default:
+		return nil, fmt.Errorf("backend: unknown backend %q (want fused|dense|noisy)", name)
+	}
+}
+
+// CutTable returns the diagonal of H_C in the computational basis:
+// table[x] = cut value of bit string x, with bit q of x assigning node q
+// (0 → +1 side, 1 → −1 side). layout must map logical node to physical
+// wire (identity when nil).
+func CutTable(g *graph.Graph, layout []int) []float64 {
+	n := g.N()
+	size := 1 << uint(n)
+	table := make([]float64, size)
+	for _, e := range g.Edges() {
+		bi := uint64(1) << uint(physOf(layout, e.I))
+		bj := uint64(1) << uint(physOf(layout, e.J))
+		w := e.W
+		for x := 0; x < size; x++ {
+			u := uint64(x)
+			if (u&bi != 0) != (u&bj != 0) {
+				table[x] += w
+			}
+		}
+	}
+	return table
+}
+
+// physOf maps logical node q to its physical wire under layout.
+func physOf(layout []int, q int) int {
+	if layout == nil {
+		return q
+	}
+	return layout[q]
+}
+
+// checkGraph validates the common Prepare preconditions.
+func checkGraph(g *graph.Graph, cfg Config) error {
+	if g == nil {
+		return fmt.Errorf("backend: nil graph")
+	}
+	if g.N() < 1 {
+		return fmt.Errorf("backend: graph must have at least one node")
+	}
+	if g.N() > qsim.MaxQubits {
+		return fmt.Errorf("backend: %d nodes exceeds simulator capacity of %d qubits", g.N(), qsim.MaxQubits)
+	}
+	if cfg.Layers < 1 {
+		return fmt.Errorf("backend: need at least one QAOA layer, got %d", cfg.Layers)
+	}
+	return nil
+}
+
+// checkParams validates Evaluate's parameter vectors.
+func checkParams(layers int, gammas, betas []float64) error {
+	if len(gammas) != layers || len(betas) != layers {
+		return fmt.Errorf("backend: need %d gammas and betas, got %d and %d",
+			layers, len(gammas), len(betas))
+	}
+	return nil
+}
+
+// identityOrNil collapses an identity layout to nil, the convention the
+// decoding helpers use to skip permutation arithmetic.
+func identityOrNil(layout []int) []int {
+	for q, p := range layout {
+		if q != p {
+			return layout
+		}
+	}
+	return nil
+}

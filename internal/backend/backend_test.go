@@ -1,0 +1,210 @@
+package backend
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/qsim"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/synth"
+)
+
+func TestCutTableMatchesGraph(t *testing.T) {
+	r := rng.New(1)
+	g := graph.ErdosRenyi(6, 0.5, graph.UniformWeights, r)
+	table := CutTable(g, nil)
+	for x := 0; x < 1<<6; x++ {
+		bits := qsim.BitsOf(uint64(x), 6)
+		want := g.CutValueBits(bits)
+		if math.Abs(table[x]-want) > 1e-12 {
+			t.Fatalf("table[%d]=%v want %v", x, table[x], want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{"fused": "fused", "dense": "dense", "noisy": "noisy"} {
+		be, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if be.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q", name, be.Name())
+		}
+	}
+	if be, err := ByName(""); err != nil || be != nil {
+		t.Fatalf("ByName(\"\") = %v, %v; want nil, nil", be, err)
+	}
+	if _, err := ByName("gpu"); err == nil {
+		t.Fatal("unknown backend name accepted")
+	}
+}
+
+func TestDefaultRule(t *testing.T) {
+	if Default(synth.Preferences{}).Name() != "fused" {
+		t.Fatal("plain default is not fused")
+	}
+	if Default(synth.Preferences{Connectivity: synth.Linear}).Name() != "dense" {
+		t.Fatal("synthesis preferences did not select dense")
+	}
+}
+
+func TestIndexLevels(t *testing.T) {
+	diag := []float64{2, 0, 1, 1, 0, 2, 2, 2}
+	levels, idx := indexLevels(diag, 16)
+	if len(levels) != 3 {
+		t.Fatalf("levels %v", levels)
+	}
+	for i, v := range diag {
+		if levels[idx[i]] != v {
+			t.Fatalf("levels[idx[%d]] = %v want %v", i, levels[idx[i]], v)
+		}
+	}
+	if levels, idx := indexLevels(diag, 2); levels != nil || idx != nil {
+		t.Fatal("level cap not enforced")
+	}
+}
+
+// TestFusedLUTMatchesSincos pins the indexed phase-lookup path against
+// the per-amplitude Sincos fallback on the same ansatz.
+func TestFusedLUTMatchesSincos(t *testing.T) {
+	r := rng.New(2)
+	g := graph.ErdosRenyi(8, 0.5, graph.UniformWeights, r)
+	if g.M() == 0 {
+		t.Skip("degenerate instance")
+	}
+	a, err := Fused{}.Prepare(g, Config{Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := a.(*fusedAnsatz)
+	if fa.levels == nil {
+		t.Fatal("expected LUT path at 8 qubits")
+	}
+	gammas := []float64{0.37, 0.81}
+	betas := []float64{0.52, 0.13}
+	eLUT, sLUT, err := fa.Evaluate(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := sLUT.Clone()
+	// Force the Sincos fallback: drop the LUT and rebuild the dense
+	// shift table Prepare discards when the LUT path is taken.
+	fa.levels, fa.idx = nil, nil
+	fa.shift = make([]float64, len(fa.diag))
+	for i, v := range fa.diag {
+		fa.shift[i] = v - g.TotalWeight()/2
+	}
+	eSin, sSin, err := fa.Evaluate(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eLUT-eSin) > 1e-12 {
+		t.Fatalf("energies differ: %v vs %v", eLUT, eSin)
+	}
+	for i := 0; i < sSin.Len(); i++ {
+		if cmplx.Abs(keep.Amp(uint64(i))-sSin.Amp(uint64(i))) > 1e-12 {
+			t.Fatalf("amp %d differs: %v vs %v", i, keep.Amp(uint64(i)), sSin.Amp(uint64(i)))
+		}
+	}
+}
+
+func TestFusedReusesBuffer(t *testing.T) {
+	g := graph.Complete(4)
+	a, err := Fused{}.Prepare(g, Config{Layers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1, err := a.Evaluate([]float64{0.3}, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := a.Evaluate([]float64{0.5}, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("fused backend allocated a second state buffer")
+	}
+	if math.Abs(s2.NormSquared()-1) > 1e-9 {
+		t.Fatalf("state norm %v after buffer reuse", s2.NormSquared())
+	}
+}
+
+func TestNoisyZeroModelMatchesDense(t *testing.T) {
+	r := rng.New(3)
+	g := graph.ErdosRenyi(7, 0.4, graph.Unweighted, r)
+	if g.M() == 0 {
+		t.Skip("degenerate instance")
+	}
+	gammas := []float64{0.4, 0.7}
+	betas := []float64{0.3, 0.1}
+	dAns, err := Dense{}.Prepare(g, Config{Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nAns, err := Noisy{Trajectories: 5}.Prepare(g, Config{Layers: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eD, _, err := dAns.Evaluate(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eN, _, err := nAns.Evaluate(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eD-eN) > 1e-12 {
+		t.Fatalf("zero-noise backend energy %v != dense %v", eN, eD)
+	}
+}
+
+func TestNoisyFreshNoisePerEvaluation(t *testing.T) {
+	g := graph.Complete(6)
+	a, err := Noisy{
+		Model:        qsim.NoiseModel{OneQubit: 0.05, TwoQubit: 0.05},
+		Trajectories: 1,
+		Rand:         rng.New(4),
+	}.Prepare(g, Config{Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas := []float64{0.4, 0.7}
+	betas := []float64{0.3, 0.1}
+	e1, _, err := a.Evaluate(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := a.Evaluate(gammas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == e2 {
+		t.Fatal("consecutive noisy evaluations reused the identical trajectory stream")
+	}
+}
+
+func TestPrepareRejectsBadInputs(t *testing.T) {
+	g := graph.Complete(3)
+	for _, be := range []Backend{Dense{}, Fused{}, Noisy{}} {
+		if _, err := be.Prepare(nil, Config{Layers: 1}); err == nil {
+			t.Fatalf("%s: nil graph accepted", be.Name())
+		}
+		if _, err := be.Prepare(g, Config{Layers: 0}); err == nil {
+			t.Fatalf("%s: zero layers accepted", be.Name())
+		}
+		if _, err := be.Prepare(graph.New(qsim.MaxQubits+1), Config{Layers: 1}); err == nil {
+			t.Fatalf("%s: oversized graph accepted", be.Name())
+		}
+		a, err := be.Prepare(g, Config{Layers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := a.Evaluate([]float64{0.1}, []float64{0.2}); err == nil {
+			t.Fatalf("%s: wrong parameter arity accepted", be.Name())
+		}
+	}
+}

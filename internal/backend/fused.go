@@ -1,0 +1,128 @@
+package backend
+
+import (
+	"sort"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/qsim"
+	"qaoa2/internal/synth"
+)
+
+// maxPhaseLevels bounds the distinct-cut-value lookup table. Unweighted
+// graphs have at most m+1 distinct cut values; weighted graphs can have
+// up to 2^n, in which case the fused path falls back to a per-amplitude
+// Sincos.
+const maxPhaseLevels = 4096
+
+// Fused is the diagonal-cost fast path: because H_C is diagonal in the
+// computational basis, the whole e^{-iγ H_C} cost layer is one
+// element-wise phase pass over the statevector, e^{-iγ·(cut(x) − W/2)},
+// and the β mixer is n direct RX kernel calls — no circuit synthesis,
+// no gate list, no per-evaluation allocation. The −W/2 shift reproduces
+// the global phase the RZZ-product gate walk accrues, keeping Fused
+// amplitude-identical to Dense (the parity tests pin this to 1e-12).
+//
+// Fused ignores synthesis preferences: there is no circuit to lower or
+// route, so Report() is zero and Layout() is the identity. Callers that
+// need synthesis metrics use Dense (backend.Default selects it when
+// preferences are set).
+type Fused struct{}
+
+// Name implements Backend.
+func (Fused) Name() string { return "fused" }
+
+// Prepare implements Backend: computes the cost diagonal once, plus —
+// when the graph has few distinct cut values — an indexed form that
+// replaces per-amplitude trigonometry with a per-level lookup.
+func (Fused) Prepare(g *graph.Graph, cfg Config) (Ansatz, error) {
+	if err := checkGraph(g, cfg); err != nil {
+		return nil, err
+	}
+	diag := CutTable(g, nil)
+	half := g.TotalWeight() / 2
+	shift := make([]float64, len(diag))
+	for i, v := range diag {
+		shift[i] = v - half
+	}
+	a := &fusedAnsatz{n: g.N(), layers: cfg.Layers, diag: diag, shift: shift}
+	a.levels, a.idx = indexLevels(shift, maxPhaseLevels)
+	if a.levels != nil {
+		// The indexed path never reads the dense shift table; drop it
+		// rather than pin 2^n float64 per prepared ansatz.
+		a.shift = nil
+	}
+	return a, nil
+}
+
+// indexLevels factors diag into (levels, idx) with diag[i] =
+// levels[idx[i]] when the distinct-value count is at most maxLevels;
+// otherwise it returns (nil, nil).
+func indexLevels(diag []float64, maxLevels int) ([]float64, []int32) {
+	seen := make(map[float64]int32, maxLevels)
+	for _, v := range diag {
+		if _, ok := seen[v]; !ok {
+			if len(seen) == maxLevels {
+				return nil, nil
+			}
+			seen[v] = 0
+		}
+	}
+	levels := make([]float64, 0, len(seen))
+	for v := range seen {
+		levels = append(levels, v)
+	}
+	sort.Float64s(levels)
+	for j, v := range levels {
+		seen[v] = int32(j)
+	}
+	idx := make([]int32, len(diag))
+	for i, v := range diag {
+		idx[i] = seen[v]
+	}
+	return levels, idx
+}
+
+type fusedAnsatz struct {
+	n, layers int
+	diag      []float64 // cut-value table, the ⟨H_C⟩ diagonal
+	shift     []float64 // diag − W/2: the per-layer phase diagonal
+	levels    []float64 // distinct shift values (nil → Sincos fallback)
+	idx       []int32   // shift[i] = levels[idx[i]]
+	buf       *qsim.State
+}
+
+// Evaluate implements Ansatz. The returned state is the ansatz's reused
+// buffer, valid until the next Evaluate.
+func (a *fusedAnsatz) Evaluate(gammas, betas []float64) (float64, *qsim.State, error) {
+	if err := checkParams(a.layers, gammas, betas); err != nil {
+		return 0, nil, err
+	}
+	if a.buf == nil {
+		s, err := qsim.NewState(a.n)
+		if err != nil {
+			return 0, nil, err
+		}
+		a.buf = s
+	}
+	a.buf.FillPlus()
+	for l := 0; l < a.layers; l++ {
+		if a.levels != nil {
+			a.buf.ApplyPhaseDiagonalIndexed(gammas[l], a.levels, a.idx)
+		} else {
+			a.buf.ApplyPhaseDiagonal(gammas[l], a.shift)
+		}
+		for q := 0; q < a.n; q++ {
+			a.buf.ApplyRX(q, 2*betas[l])
+		}
+	}
+	return a.buf.ExpectDiagonal(a.diag), a.buf, nil
+}
+
+// Diagonal implements Ansatz.
+func (a *fusedAnsatz) Diagonal() []float64 { return a.diag }
+
+// Layout implements Ansatz: always identity.
+func (a *fusedAnsatz) Layout() []int { return nil }
+
+// Report implements Ansatz: no circuit is synthesized.
+func (a *fusedAnsatz) Report() synth.Report { return synth.Report{} }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"qaoa2/internal/backend"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/gw"
 	"qaoa2/internal/qaoa"
@@ -30,7 +31,11 @@ type GridConfig struct {
 	// the reduced-scale defaults, where exact-argmax decoding always
 	// finds the optimum and flattens the comparison.
 	DecodeShots int
-	Seed        uint64
+	// Backend selects the QAOA circuit-execution backend for every grid
+	// point (nil = the fused default; backend.Dense cross-checks the
+	// grid against the reference gate walk).
+	Backend backend.Backend
+	Seed    uint64
 }
 
 // DefaultFig3Config is the laptop-scale reduction of the paper's grid
@@ -129,6 +134,7 @@ func RunGrid(cfg GridConfig) (*GridResult, error) {
 								Rhobeg:      rhobeg,
 								Shots:       cfg.Shots,
 								DecodeShots: cfg.DecodeShots,
+								Backend:     cfg.Backend,
 								Seed:        cellSeed ^ uint64(layers)<<32 ^ uint64(rhobeg*1000),
 							}, r.Split(uint64(layers)<<16|uint64(rhobeg*1000)))
 							if err != nil {

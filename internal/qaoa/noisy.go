@@ -3,6 +3,7 @@ package qaoa
 import (
 	"fmt"
 
+	"qaoa2/internal/backend"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/qsim"
 	"qaoa2/internal/rng"
@@ -14,17 +15,18 @@ import (
 // trajectories. With a zero model and any trajectory count it equals
 // the exact noiseless expectation; with strong depolarizing noise it
 // approaches TotalWeight/2, the fully-mixed-state value — the NISQ
-// degradation that bounds useful circuit depth (paper §1).
+// degradation that bounds useful circuit depth (paper §1). It is a thin
+// convenience wrapper over backend.Noisy, the trajectory-sampling
+// execution backend.
 func NoisyExpectation(g *graph.Graph, gammas, betas []float64, model qsim.NoiseModel,
 	trajectories int, prefs synth.Preferences, r *rng.Rand) (float64, error) {
 	if len(gammas) != len(betas) || len(gammas) == 0 {
 		return 0, fmt.Errorf("qaoa: need equal, non-empty gamma/beta vectors")
 	}
+	// Validate the model before the degenerate-graph early returns so a
+	// misconfigured sweep fails loudly even on edgeless instances.
 	if err := model.Validate(); err != nil {
 		return 0, err
-	}
-	if trajectories < 1 {
-		trajectories = 1
 	}
 	n := g.N()
 	if n == 0 || g.M() == 0 {
@@ -33,41 +35,11 @@ func NoisyExpectation(g *graph.Graph, gammas, betas []float64, model qsim.NoiseM
 	if n > qsim.MaxQubits {
 		return 0, fmt.Errorf("qaoa: %d nodes exceeds simulator capacity", n)
 	}
-	tpl, err := synth.BuildTemplate(synth.Model{Graph: g, Layers: len(gammas)}, prefs)
+	be := backend.Noisy{Model: model, Trajectories: trajectories, Rand: r}
+	ans, err := be.Prepare(g, backend.Config{Layers: len(gammas), Synthesis: prefs})
 	if err != nil {
 		return 0, err
 	}
-	if err := tpl.Bind(gammas, betas); err != nil {
-		return 0, err
-	}
-	layout := tpl.Layout
-	identity := true
-	for q, p := range layout {
-		if q != p {
-			identity = false
-			break
-		}
-	}
-	if identity {
-		layout = nil
-	}
-	table := CutTable(g, layout)
-
-	if model.IsZero() {
-		trajectories = 1
-	}
-	total := 0.0
-	for tr := 0; tr < trajectories; tr++ {
-		s, err := qsim.NewState(n)
-		if err != nil {
-			return 0, err
-		}
-		ns, err := qsim.NewNoisyState(s, model, r.Split(uint64(tr)+0xa5a5))
-		if err != nil {
-			return 0, err
-		}
-		tpl.Circuit.Apply(ns)
-		total += s.ExpectDiagonal(table)
-	}
-	return total / float64(trajectories), nil
+	energy, _, err := ans.Evaluate(gammas, betas)
+	return energy, err
 }

@@ -1,11 +1,13 @@
 // Package qaoa implements the Quantum Approximate Optimization Algorithm
 // for MaxCut (paper §3.2): a p-layer ansatz |ψ_p(β⃗,γ⃗)⟩ =
-// Π_l e^{-iβ_l H_M} e^{-iγ_l H_C} |+⟩^⊗n synthesized by internal/synth,
-// simulated exactly by internal/qsim, and trained by the COBYLA
-// optimizer of internal/opt. The objective F_p = ⟨ψ|H_C|ψ⟩ is maximized;
-// the solution bit string is decoded from the highest amplitude of the
-// final statevector (optionally the best cut among the top-K
-// amplitudes, the improvement the paper suggests in §3.2/§5).
+// Π_l e^{-iβ_l H_M} e^{-iγ_l H_C} |+⟩^⊗n executed through the pluggable
+// internal/backend layer — by default the fused diagonal-cost backend;
+// optionally the synth→qsim gate walk or the noisy-trajectory backend —
+// and trained by the COBYLA optimizer of internal/opt. The objective
+// F_p = ⟨ψ|H_C|ψ⟩ is maximized; the solution bit string is decoded from
+// the highest amplitude of the final statevector (optionally the best
+// cut among the top-K amplitudes, the improvement the paper suggests in
+// §3.2/§5).
 package qaoa
 
 import (
@@ -13,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"qaoa2/internal/backend"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/maxcut"
 	"qaoa2/internal/opt"
@@ -82,7 +85,13 @@ type Options struct {
 	InitGammas []float64
 	InitBetas  []float64
 	// Synthesis forwards preferences to the circuit synthesis engine.
+	// Only synthesizing backends (dense, noisy) honor it; setting any
+	// preference switches the default backend from fused to dense.
 	Synthesis synth.Preferences
+	// Backend selects the circuit-execution backend. Nil applies the
+	// backend.Default rule: the fused diagonal-cost backend, or the
+	// dense gate walk when Synthesis preferences are set (see DESIGN.md).
+	Backend backend.Backend
 	// Seed derives all stochastic streams (shot sampling).
 	Seed uint64
 }
@@ -118,12 +127,14 @@ func IterationsFor(layers int) int {
 
 // Result reports one QAOA run.
 type Result struct {
-	Cut         maxcut.Cut   // decoded solution
-	Expectation float64      // exact ⟨H_C⟩ at the best parameters
-	Gammas      []float64    // optimized cost parameters
-	Betas       []float64    // optimized mixer parameters
-	Evaluations int          // objective evaluations consumed
-	Report      synth.Report // synthesis metrics of the ansatz
+	Cut         maxcut.Cut // decoded solution
+	Expectation float64    // exact ⟨H_C⟩ at the best parameters
+	Gammas      []float64  // optimized cost parameters
+	Betas       []float64  // optimized mixer parameters
+	Evaluations int        // objective evaluations consumed
+	// Report carries synthesis metrics of the ansatz; it is the zero
+	// Report under backends that skip gate-level synthesis (fused).
+	Report synth.Report
 	// State is the final statevector at the optimized parameters;
 	// consumers such as RQAOA read correlations from it.
 	State *qsim.State
@@ -135,23 +146,10 @@ type Result struct {
 // CutTable returns the diagonal of H_C in the computational basis:
 // table[x] = cut value of bit string x, with bit q of x assigning node q
 // (0 → +1 side, 1 → −1 side). layout must map logical node to physical
-// wire (identity when nil).
+// wire (identity when nil). It is kept as a re-export of
+// backend.CutTable for existing callers.
 func CutTable(g *graph.Graph, layout []int) []float64 {
-	n := g.N()
-	size := 1 << uint(n)
-	table := make([]float64, size)
-	for _, e := range g.Edges() {
-		bi := uint64(1) << uint(physOf(layout, e.I))
-		bj := uint64(1) << uint(physOf(layout, e.J))
-		w := e.W
-		for x := 0; x < size; x++ {
-			u := uint64(x)
-			if (u&bi != 0) != (u&bj != 0) {
-				table[x] += w
-			}
-		}
-	}
-	return table
+	return backend.CutTable(g, layout)
 }
 
 func physOf(layout []int, q int) int {
@@ -181,22 +179,20 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 		return &Result{Cut: maxcut.Cut{Spins: spins, Value: 0}}, nil
 	}
 
-	tpl, err := synth.BuildTemplate(synth.Model{Graph: g, Layers: opts.Layers}, opts.Synthesis)
+	be := opts.Backend
+	if be == nil {
+		be = backend.Default(opts.Synthesis)
+	}
+	ans, err := be.Prepare(g, backend.Config{
+		Layers:    opts.Layers,
+		Synthesis: opts.Synthesis,
+		Seed:      opts.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	layout := tpl.Layout
-	identity := true
-	for q, p := range layout {
-		if q != p {
-			identity = false
-			break
-		}
-	}
-	if identity {
-		layout = nil
-	}
-	table := CutTable(g, layout)
+	layout := ans.Layout()
+	table := ans.Diagonal()
 
 	shotRand := r
 	if shotRand == nil {
@@ -207,27 +203,14 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 	gammas := make([]float64, p)
 	betas := make([]float64, p)
 
-	// run executes the bound ansatz and returns the final state.
-	run := func() (*qsim.State, error) {
-		s, err := qsim.NewState(n)
-		if err != nil {
-			return nil, err
-		}
-		tpl.Circuit.Apply(s) // template starts with its own H wall
-		return s, nil
-	}
-
 	objective := func(x []float64) float64 {
 		copy(gammas, x[:p])
 		copy(betas, x[p:])
-		if err := tpl.Bind(gammas, betas); err != nil {
-			panic(err) // lengths are fixed by construction
-		}
-		s, err := run()
+		energy, s, err := ans.Evaluate(gammas, betas)
 		if err != nil {
-			panic(err) // n validated above
+			panic(err) // parameter lengths are fixed by construction
 		}
-		var f float64
+		f := energy
 		if opts.Shots > 0 {
 			hist := s.Sample(opts.Shots, shotRand)
 			total := 0.0
@@ -235,8 +218,6 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 				total += table[basis] * float64(count)
 			}
 			f = total / float64(opts.Shots)
-		} else {
-			f = s.ExpectDiagonal(table)
 		}
 		return -f // optimizers minimize
 	}
@@ -278,14 +259,10 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 	// Re-run at the best parameters for decoding and exact expectation.
 	copy(gammas, res.X[:p])
 	copy(betas, res.X[p:])
-	if err := tpl.Bind(gammas, betas); err != nil {
-		return nil, err
-	}
-	s, err := run()
+	expectation, s, err := ans.Evaluate(gammas, betas)
 	if err != nil {
 		return nil, err
 	}
-	expectation := s.ExpectDiagonal(table)
 
 	var cut maxcut.Cut
 	if opts.DecodeShots > 0 {
@@ -299,7 +276,7 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 		Gammas:      gammas,
 		Betas:       betas,
 		Evaluations: res.Evals,
-		Report:      tpl.Report,
+		Report:      ans.Report(),
 		State:       s,
 		Layout:      layout,
 	}, nil

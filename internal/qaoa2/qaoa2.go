@@ -6,9 +6,11 @@ import (
 	"sort"
 	"sync"
 
+	"qaoa2/internal/backend"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/maxcut"
 	"qaoa2/internal/partition"
+	"qaoa2/internal/qaoa"
 	"qaoa2/internal/rng"
 )
 
@@ -25,6 +27,12 @@ type Options struct {
 	// (default: same as Solver). The paper chooses the classical
 	// solution for further iterations in the Fig. 4 runs.
 	MergeSolver SubSolver
+	// Backend selects the circuit-execution backend of the DEFAULT QAOA
+	// sub- and merge solvers (nil = backend.Default, the fused path).
+	// It is ignored when an explicit Solver/MergeSolver is provided —
+	// set the backend inside that solver's own options instead (e.g.
+	// QAOASolver{Opts: qaoa.Options{Backend: ...}}).
+	Backend backend.Backend
 	// Parallelism bounds concurrent sub-graph solves (default
 	// GOMAXPROCS), standing in for the pool of simulated quantum
 	// devices / classical nodes of Fig. 2.
@@ -43,7 +51,7 @@ func (o Options) withDefaults() Options {
 		o.MaxQubits = 16
 	}
 	if o.Solver == nil {
-		o.Solver = QAOASolver{}
+		o.Solver = QAOASolver{Opts: qaoa.Options{Backend: o.Backend}}
 	}
 	if o.MergeSolver == nil {
 		o.MergeSolver = o.Solver
@@ -275,6 +283,7 @@ func solveMerge(merged *graph.Graph, opts Options, level int) ([]int8, int, erro
 		MaxQubits:   opts.MaxQubits,
 		Solver:      opts.MergeSolver,
 		MergeSolver: opts.MergeSolver,
+		Backend:     opts.Backend,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed ^ (uint64(level) * 0xabcd),
 	})

@@ -1,0 +1,60 @@
+package qsim
+
+import "math"
+
+// The kernels in this file are the building blocks of the fused
+// diagonal-cost execution path (internal/backend's FusedBackend): the
+// MaxCut cost Hamiltonian is diagonal in the computational basis, so a
+// whole e^{-iγ H_C} layer collapses to one element-wise phase pass over
+// the statevector instead of a per-edge RZZ gate walk.
+
+// FillPlus overwrites the state with the uniform superposition
+// H^⊗n |0...0⟩ in place, without reallocating the amplitude buffer.
+// This is the QAOA initial state; fused backends call it at the top of
+// every objective evaluation to recycle the buffer.
+func (s *State) FillPlus() {
+	amp := complex(1/math.Sqrt(float64(len(s.amps))), 0)
+	parFor(len(s.amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			s.amps[i] = amp
+		}
+	})
+}
+
+// ApplyPhaseDiagonal multiplies amplitude i by e^{-iθ·diag[i]}, i.e.
+// applies exp(-iθ D) for the diagonal operator D with the given basis
+// values. One call implements a full QAOA cost layer when diag holds
+// the (phase-shifted) cut-value table. len(diag) must be 2^n.
+func (s *State) ApplyPhaseDiagonal(theta float64, diag []float64) {
+	if len(diag) != len(s.amps) {
+		panic("qsim: phase diagonal length mismatch")
+	}
+	parFor(len(s.amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			sin, cos := math.Sincos(-theta * diag[i])
+			s.amps[i] *= complex(cos, sin)
+		}
+	})
+}
+
+// ApplyPhaseDiagonalIndexed is ApplyPhaseDiagonal for a diagonal with
+// few distinct values: diag[i] = levels[idx[i]]. The e^{-iθ·level}
+// factors are computed once per level and applied by table lookup,
+// replacing a Sincos per amplitude with one per level — the common case
+// for unweighted MaxCut, whose cut values are the integers 0..m.
+// len(idx) must be 2^n and every idx[i] must index levels.
+func (s *State) ApplyPhaseDiagonalIndexed(theta float64, levels []float64, idx []int32) {
+	if len(idx) != len(s.amps) {
+		panic("qsim: phase diagonal index length mismatch")
+	}
+	phases := make([]complex128, len(levels))
+	for j, v := range levels {
+		sin, cos := math.Sincos(-theta * v)
+		phases[j] = complex(cos, sin)
+	}
+	parFor(len(s.amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			s.amps[i] *= phases[idx[i]]
+		}
+	})
+}

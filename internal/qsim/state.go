@@ -5,6 +5,12 @@
 //     RZ, the diagonal two-qubit RZZ, CNOT, CZ and generic 1q/2q
 //     unitaries), with amplitude-sliced multi-core parallelism;
 //
+//   - fused diagonal-operator kernels (diagonal.go): FillPlus and the
+//     ApplyPhaseDiagonal family, which let internal/backend's
+//     FusedBackend apply an entire e^{-iγ H_C} cost layer as one
+//     element-wise phase pass instead of a per-gate walk — the gate-walk
+//     path above is only one of the execution backends;
+//
 //   - measurement: probability extraction, shot sampling, highest- and
 //     top-K-amplitude queries (the paper decodes the best-amplitude bit
 //     string; top-K is its suggested improvement);
@@ -222,11 +228,26 @@ func (s *State) ApplyZ(q int) {
 }
 
 // ApplyRX applies RX(θ) = exp(-iθX/2) to qubit q. The QAOA mixer layer
-// is RX(2β) on every qubit.
+// is RX(2β) on every qubit, so this is an inner-loop hot path: a
+// dedicated kernel exploits the real diagonal and imaginary
+// off-diagonal of RX (4 real multiplies per amplitude instead of the 8
+// of the generic 2x2 path).
 func (s *State) ApplyRX(q int, theta float64) {
-	c := complex(math.Cos(theta/2), 0)
-	is := complex(0, -math.Sin(theta/2))
-	s.Apply1Q(q, [2][2]complex128{{c, is}, {is, c}})
+	s.checkQubit(q)
+	c := math.Cos(theta / 2)
+	sn := math.Sin(theta / 2)
+	step := uint64(1) << uint(q)
+	pairs := len(s.amps) / 2
+	parFor(pairs, func(start, end int) {
+		for k := start; k < end; k++ {
+			i0 := pairIndex(k, q)
+			i1 := i0 | step
+			a0, a1 := s.amps[i0], s.amps[i1]
+			// RX = [[c, -i·sn], [-i·sn, c]]; -i·sn·a = (sn·Im a, -sn·Re a).
+			s.amps[i0] = complex(c*real(a0)+sn*imag(a1), c*imag(a0)-sn*real(a1))
+			s.amps[i1] = complex(sn*imag(a0)+c*real(a1), c*imag(a1)-sn*real(a0))
+		}
+	})
 }
 
 // ApplyRY applies RY(θ) = exp(-iθY/2) to qubit q.

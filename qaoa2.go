@@ -1,8 +1,10 @@
 // Package qaoa2 is a pure-Go reproduction of "Hybrid Classical-Quantum
 // Simulation of MaxCut using QAOA-in-QAOA" (Esposito & Danzig, 2024):
 // the QAOA² divide-and-conquer MaxCut solver together with every
-// substrate it needs — a statevector quantum simulator, a
-// Classiq-style circuit synthesis engine, a COBYLA optimizer, a
+// substrate it needs — a statevector quantum simulator behind a
+// pluggable execution-backend layer (with a fused diagonal-cost fast
+// path as the default), a Classiq-style circuit synthesis engine, a
+// COBYLA optimizer, a
 // Goemans-Williamson implementation with from-scratch SDP solvers,
 // greedy-modularity graph partitioning, and a SLURM/MPI-style workflow
 // simulator.
@@ -23,6 +25,7 @@
 package qaoa2
 
 import (
+	"qaoa2/internal/backend"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/gw"
 	"qaoa2/internal/hpc"
@@ -106,6 +109,27 @@ type (
 func SolveQAOA(g *Graph, opts QAOAOptions, r *Rand) (*QAOAResult, error) {
 	return qaoa.Solve(g, opts, r)
 }
+
+// Circuit-execution backends (the pluggable simulation layer behind
+// QAOAOptions.Backend and Options.Backend; see DESIGN.md).
+type (
+	// Backend prepares executable QAOA ansätze for a graph.
+	Backend = backend.Backend
+	// Ansatz is a prepared ansatz: Evaluate(γ⃗, β⃗) → (⟨H_C⟩, state).
+	Ansatz = backend.Ansatz
+	// BackendConfig carries depth/synthesis/seed to Backend.Prepare.
+	BackendConfig = backend.Config
+	// DenseBackend is the reference synth→qsim gate walk.
+	DenseBackend = backend.Dense
+	// FusedBackend is the diagonal-cost fast path (the default).
+	FusedBackend = backend.Fused
+	// NoisyBackend averages trajectory-sampled Pauli noise.
+	NoisyBackend = backend.Noisy
+)
+
+// BackendByName resolves a CLI backend name ("fused", "dense", "noisy";
+// "" selects the default rule at solve time).
+func BackendByName(name string) (Backend, error) { return backend.ByName(name) }
 
 // Goemans-Williamson.
 type (

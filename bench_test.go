@@ -486,6 +486,39 @@ func BenchmarkBackendDense(b *testing.B) { benchmarkBackendEvaluate(b, root.Dens
 // speedup over BenchmarkBackendDense is recorded in EXPERIMENTS.md.
 func BenchmarkBackendFused(b *testing.B) { benchmarkBackendEvaluate(b, root.FusedBackend{}) }
 
+// BenchmarkBackendFusedBatch8 measures the batched multi-start API:
+// eight parameter vectors per EvaluateBatch call (ns/op is per batch;
+// per-eval is reported as a metric).
+func BenchmarkBackendFusedBatch8(b *testing.B) {
+	g := graph.ErdosRenyi(16, 0.5, graph.Unweighted, rng.New(99))
+	ans, err := root.FusedBackend{}.Prepare(g, root.BackendConfig{Layers: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 8
+	pr := rng.New(7)
+	gammas := make([][]float64, k)
+	betas := make([][]float64, k)
+	for i := range gammas {
+		gammas[i] = make([]float64, 3)
+		betas[i] = make([]float64, 3)
+		for l := 0; l < 3; l++ {
+			gammas[i][l] = pr.Float64()
+			betas[i][l] = pr.Float64()
+		}
+	}
+	energies := make([]float64, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := root.EvaluateBatch(ans, gammas, betas, energies); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/eval")
+}
+
 // BenchmarkPublicAPIQuickstart exercises the facade end to end (also a
 // smoke test that the README quickstart stays honest).
 func BenchmarkPublicAPIQuickstart(b *testing.B) {

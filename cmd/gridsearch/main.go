@@ -26,6 +26,7 @@ func main() {
 		table1   = flag.Bool("table1", false, "run the Table 1 high-qubit block instead of Fig. 3")
 		seed     = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
 		backendN = flag.String("backend", "", "QAOA circuit-execution backend: fused|dense|noisy (default: fused)")
+		restarts = flag.Int("restarts", 1, "batched multi-start optimizer runs per grid point (fused backend batches them over per-worker engines)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Backend = be
+	cfg.Restarts = *restarts
 
 	res, err := experiments.RunGrid(cfg)
 	if err != nil {

@@ -8,6 +8,7 @@
 //
 //	maxcutbench            # laptop-scale node counts
 //	maxcutbench -full      # paper-scale (500..2500 nodes)
+//	maxcutbench -json      # backend microbenchmarks → BENCH_<stamp>.json
 package main
 
 import (
@@ -22,10 +23,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("maxcutbench: ")
 	var (
-		full = flag.Bool("full", false, "run at paper scale (nodes 500-2500, 16-qubit sub-graphs)")
-		seed = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
+		full    = flag.Bool("full", false, "run at paper scale (nodes 500-2500, 16-qubit sub-graphs)")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
+		jsonOut = flag.Bool("json", false, "run the backend microbenchmarks and write machine-readable results to BENCH_<stamp>.json instead of the Fig. 4 table")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		name, err := runJSONBench()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", name)
+		return
+	}
 
 	cfg := experiments.DefaultFig4Config()
 	if *full {

@@ -67,6 +67,56 @@ type Ansatz interface {
 	Report() synth.Report
 }
 
+// BatchEvaluator is the optional batched extension of Ansatz: backends
+// whose evaluations are cheap enough to be scheduler-bound implement it
+// to evaluate K parameter vectors with persistent per-worker state
+// buffers — multi-start screening and lockstep restart optimizers
+// (internal/qaoa) feed their coalesced evaluation requests through it.
+// Like Evaluate, EvaluateBatch is not safe for concurrent use on the
+// same Ansatz (it parallelizes internally).
+type BatchEvaluator interface {
+	// EvaluateBatch computes energies[k] = ⟨ψ(γ⃗_k, β⃗_k)|H_C|ψ(γ⃗_k, β⃗_k)⟩
+	// for every k. It does not return states: batched callers only rank
+	// parameter vectors; re-Evaluate the winner when its state is
+	// needed.
+	EvaluateBatch(gammas, betas [][]float64, energies []float64) error
+}
+
+// EvaluateBatch evaluates K (γ⃗, β⃗) parameter vectors through a's native
+// batch path when it implements BatchEvaluator, and by sequential
+// Evaluate calls otherwise.
+func EvaluateBatch(a Ansatz, gammas, betas [][]float64, energies []float64) error {
+	if be, ok := a.(BatchEvaluator); ok {
+		return be.EvaluateBatch(gammas, betas, energies)
+	}
+	if len(betas) != len(gammas) || len(energies) != len(gammas) {
+		return fmt.Errorf("backend: batch of %d gamma vectors with %d beta vectors and %d energy slots",
+			len(gammas), len(betas), len(energies))
+	}
+	for k := range gammas {
+		e, _, err := a.Evaluate(gammas[k], betas[k])
+		if err != nil {
+			return err
+		}
+		energies[k] = e
+	}
+	return nil
+}
+
+// checkBatchParams validates an EvaluateBatch call.
+func checkBatchParams(layers int, gammas, betas [][]float64, energies []float64) error {
+	if len(betas) != len(gammas) || len(energies) != len(gammas) {
+		return fmt.Errorf("backend: batch of %d gamma vectors with %d beta vectors and %d energy slots",
+			len(gammas), len(betas), len(energies))
+	}
+	for k := range gammas {
+		if err := checkParams(layers, gammas[k], betas[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Backend prepares executable ansätze. Implementations must be safe for
 // concurrent Prepare calls: QAOA² prepares sub-graph ansätze in
 // parallel.

@@ -1,0 +1,110 @@
+// Tests for the batched multi-point evaluation API: the fused native
+// batch path and the generic sequential fallback must both agree with
+// per-call Evaluate to 1e-12, and the fused steady-state loop must not
+// allocate.
+package backend_test
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/backend"
+	"qaoa2/internal/graph"
+	"qaoa2/internal/rng"
+)
+
+func batchParams(layers, k int, seed uint64) (gammas, betas [][]float64) {
+	pr := rng.New(seed)
+	gammas = make([][]float64, k)
+	betas = make([][]float64, k)
+	for i := range gammas {
+		gammas[i] = make([]float64, layers)
+		betas[i] = make([]float64, layers)
+		for l := 0; l < layers; l++ {
+			gammas[i][l] = pr.Float64() * 2 * math.Pi
+			betas[i][l] = pr.Float64() * math.Pi
+		}
+	}
+	return gammas, betas
+}
+
+func TestEvaluateBatchMatchesEvaluate(t *testing.T) {
+	g := graph.ErdosRenyi(10, 0.4, graph.UniformWeights, rng.New(7))
+	const layers, k = 2, 9
+	gammas, betas := batchParams(layers, k, 11)
+
+	for _, be := range []backend.Backend{backend.Fused{}, backend.Dense{}} {
+		ans, err := be.Prepare(g, backend.Config{Layers: layers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, native := ans.(backend.BatchEvaluator); native != (be.Name() == "fused") {
+			t.Fatalf("%s: unexpected BatchEvaluator support %v", be.Name(), native)
+		}
+		energies := make([]float64, k)
+		if err := backend.EvaluateBatch(ans, gammas, betas, energies); err != nil {
+			t.Fatal(err)
+		}
+		for i := range gammas {
+			want, _, err := ans.Evaluate(gammas[i], betas[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(energies[i]-want) > 1e-12 {
+				t.Fatalf("%s: batch energy[%d] = %v, Evaluate = %v", be.Name(), i, energies[i], want)
+			}
+		}
+		// Shape errors must be rejected, not truncated.
+		if err := backend.EvaluateBatch(ans, gammas, betas[:k-1], energies); err == nil {
+			t.Fatalf("%s: mismatched beta batch accepted", be.Name())
+		}
+		if err := backend.EvaluateBatch(ans, gammas, betas, energies[:k-1]); err == nil {
+			t.Fatalf("%s: short energy slice accepted", be.Name())
+		}
+	}
+}
+
+// TestFusedEvaluateSteadyStateAllocs pins the acceptance criterion at
+// the backend level: the optimizer-loop Evaluate allocates nothing.
+func TestFusedEvaluateSteadyStateAllocs(t *testing.T) {
+	g := graph.ErdosRenyi(12, 0.5, graph.Unweighted, rng.New(3))
+	ans, err := backend.Fused{}.Prepare(g, backend.Config{Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas := []float64{0.3, 0.6, 0.9}
+	betas := []float64{0.5, 0.4, 0.1}
+	if _, _, err := ans.Evaluate(gammas, betas); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := ans.Evaluate(gammas, betas); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fused Evaluate allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestEvaluateBatchRepeatedCallsReuseBuffers(t *testing.T) {
+	g := graph.ErdosRenyi(9, 0.5, graph.Unweighted, rng.New(5))
+	ans, err := backend.Fused{}.Prepare(g, backend.Config{Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas, betas := batchParams(2, 6, 19)
+	first := make([]float64, 6)
+	if err := backend.EvaluateBatch(ans, gammas, betas, first); err != nil {
+		t.Fatal(err)
+	}
+	second := make([]float64, 6)
+	if err := backend.EvaluateBatch(ans, gammas, betas, second); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("batch call not reproducible at %d: %v then %v", i, first[i], second[i])
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package backend
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"qaoa2/internal/graph"
 	"qaoa2/internal/qsim"
@@ -16,10 +18,13 @@ const maxPhaseLevels = 4096
 
 // Fused is the diagonal-cost fast path: because H_C is diagonal in the
 // computational basis, the whole e^{-iγ H_C} cost layer is one
-// element-wise phase pass over the statevector, e^{-iγ·(cut(x) − W/2)},
-// and the β mixer is n direct RX kernel calls — no circuit synthesis,
-// no gate list, no per-evaluation allocation. The −W/2 shift reproduces
-// the global phase the RZZ-product gate walk accrues, keeping Fused
+// element-wise phase pass e^{-iγ·(cut(x) − W/2)}, and the β mixer is a
+// cache-blocked multi-qubit butterfly sweep — no circuit synthesis, no
+// gate list, no per-evaluation allocation. Prepare compiles the cost
+// diagonal into a persistent qsim.Engine that fuses the phase pass, the
+// initial-state preparation and the energy reduction into the blocked
+// mixer sweeps (see qsim/engine.go). The −W/2 shift reproduces the
+// global phase the RZZ-product gate walk accrues, keeping Fused
 // amplitude-identical to Dense (the parity tests pin this to 1e-12).
 //
 // Fused ignores synthesis preferences: there is no circuit to lower or
@@ -33,7 +38,8 @@ func (Fused) Name() string { return "fused" }
 
 // Prepare implements Backend: computes the cost diagonal once, plus —
 // when the graph has few distinct cut values — an indexed form that
-// replaces per-amplitude trigonometry with a per-level lookup.
+// replaces per-amplitude trigonometry with a per-level lookup, and
+// builds the persistent fused execution engine.
 func (Fused) Prepare(g *graph.Graph, cfg Config) (Ansatz, error) {
 	if err := checkGraph(g, cfg); err != nil {
 		return nil, err
@@ -44,13 +50,19 @@ func (Fused) Prepare(g *graph.Graph, cfg Config) (Ansatz, error) {
 	for i, v := range diag {
 		shift[i] = v - half
 	}
-	a := &fusedAnsatz{n: g.N(), layers: cfg.Layers, diag: diag, shift: shift}
+	a := &fusedAnsatz{n: g.N(), layers: cfg.Layers, diag: diag}
 	a.levels, a.idx = indexLevels(shift, maxPhaseLevels)
 	if a.levels != nil {
 		// The indexed path never reads the dense shift table; drop it
 		// rather than pin 2^n float64 per prepared ansatz.
-		a.shift = nil
+		shift = nil
 	}
+	a.shift = shift
+	eng, err := a.newEngine()
+	if err != nil {
+		return nil, err
+	}
+	a.eng = eng
 	return a, nil
 }
 
@@ -85,37 +97,74 @@ func indexLevels(diag []float64, maxLevels int) ([]float64, []int32) {
 type fusedAnsatz struct {
 	n, layers int
 	diag      []float64 // cut-value table, the ⟨H_C⟩ diagonal
-	shift     []float64 // diag − W/2: the per-layer phase diagonal
+	shift     []float64 // diag − W/2 (nil on the indexed path)
 	levels    []float64 // distinct shift values (nil → Sincos fallback)
 	idx       []int32   // shift[i] = levels[idx[i]]
-	buf       *qsim.State
+	eng       *qsim.Engine
+	// batch holds one serial-mode engine per batch worker, sharing the
+	// read-only tables above; grown lazily by EvaluateBatch.
+	batch []*qsim.Engine
 }
 
-// Evaluate implements Ansatz. The returned state is the ansatz's reused
+// newEngine builds an execution engine over the ansatz's shared tables.
+func (a *fusedAnsatz) newEngine() (*qsim.Engine, error) {
+	return qsim.NewEngine(a.n, a.diag, a.levels, a.idx, a.shift)
+}
+
+// Evaluate implements Ansatz. The returned state is the engine's reused
 // buffer, valid until the next Evaluate.
 func (a *fusedAnsatz) Evaluate(gammas, betas []float64) (float64, *qsim.State, error) {
 	if err := checkParams(a.layers, gammas, betas); err != nil {
 		return 0, nil, err
 	}
-	if a.buf == nil {
-		s, err := qsim.NewState(a.n)
+	return a.eng.Evaluate(gammas, betas), a.eng.State(), nil
+}
+
+// EvaluateBatch implements BatchEvaluator: the K parameter vectors are
+// striped over min(K, GOMAXPROCS) workers, each owning a persistent
+// serial-mode engine (outer parallelism saturates the cores, so inner
+// kernel parallelism is disabled). Worker engines share the prepared
+// cost tables; only the 2^n statevector buffer is per-worker, and it is
+// reused across calls. Not safe for concurrent use with itself or
+// Evaluate. The worker count is sized for one batching ansatz per
+// process; callers that batch on MANY ansätze concurrently (QAOA² with
+// multi-start sub-solves) should keep the product of their outer
+// parallelism and K near the core count — see qaoa2.Options.Restarts.
+func (a *fusedAnsatz) EvaluateBatch(gammas, betas [][]float64, energies []float64) error {
+	if err := checkBatchParams(a.layers, gammas, betas, energies); err != nil {
+		return err
+	}
+	k := len(gammas)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	for len(a.batch) < workers {
+		eng, err := a.newEngine()
 		if err != nil {
-			return 0, nil, err
+			return err
 		}
-		a.buf = s
+		eng.SetSerial(true)
+		a.batch = append(a.batch, eng)
 	}
-	a.buf.FillPlus()
-	for l := 0; l < a.layers; l++ {
-		if a.levels != nil {
-			a.buf.ApplyPhaseDiagonalIndexed(gammas[l], a.levels, a.idx)
-		} else {
-			a.buf.ApplyPhaseDiagonal(gammas[l], a.shift)
+	if workers == 1 {
+		for i := range gammas {
+			energies[i] = a.batch[0].Evaluate(gammas[i], betas[i])
 		}
-		for q := 0; q < a.n; q++ {
-			a.buf.ApplyRX(q, 2*betas[l])
-		}
+		return nil
 	}
-	return a.buf.ExpectDiagonal(a.diag), a.buf, nil
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < k; i += workers {
+				energies[i] = a.batch[w].Evaluate(gammas[i], betas[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
 }
 
 // Diagonal implements Ansatz.

@@ -35,7 +35,11 @@ type GridConfig struct {
 	// point (nil = the fused default; backend.Dense cross-checks the
 	// grid against the reference gate walk).
 	Backend backend.Backend
-	Seed    uint64
+	// Restarts runs every grid point's QAOA as a batched multi-start
+	// (qaoa.Options.Restarts); 0/1 reproduces the paper's single-start
+	// grid.
+	Restarts int
+	Seed     uint64
 }
 
 // DefaultFig3Config is the laptop-scale reduction of the paper's grid
@@ -135,6 +139,7 @@ func RunGrid(cfg GridConfig) (*GridResult, error) {
 								Shots:       cfg.Shots,
 								DecodeShots: cfg.DecodeShots,
 								Backend:     cfg.Backend,
+								Restarts:    cfg.Restarts,
 								Seed:        cellSeed ^ uint64(layers)<<32 ^ uint64(rhobeg*1000),
 							}, r.Split(uint64(layers)<<16|uint64(rhobeg*1000)))
 							if err != nil {

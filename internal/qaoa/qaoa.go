@@ -78,6 +78,17 @@ type Options struct {
 	DecodeShots int
 	// Optimizer picks the classical optimizer (default COBYLA).
 	Optimizer OptimizerKind
+	// Restarts runs this many independent optimizer starts — start 0
+	// from the standard initialization, the rest from deterministic
+	// perturbations of it — and keeps the start whose final parameters
+	// have the best exact expectation (default 1). The restarts run as
+	// lockstep goroutines whose objective evaluations are coalesced
+	// into batched backend calls (backend.EvaluateBatch) when the
+	// objective is exact, so multi-start costs Restarts× the
+	// evaluations but saturates the cores without re-Preparing the
+	// ansatz. Each restart gets the full MaxIters budget and, under
+	// Shots > 0, its own sampling stream.
+	Restarts int
 	// InitGammas/InitBetas override the linear-ramp starting point
 	// (both must have length Layers when set). This is the hook for
 	// learned warm starts — the paper's §2 outlook of predicting initial
@@ -108,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TopK <= 0 {
 		o.TopK = 1
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
 	}
 	return o
 }
@@ -200,28 +214,6 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 	}
 
 	p := opts.Layers
-	gammas := make([]float64, p)
-	betas := make([]float64, p)
-
-	objective := func(x []float64) float64 {
-		copy(gammas, x[:p])
-		copy(betas, x[p:])
-		energy, s, err := ans.Evaluate(gammas, betas)
-		if err != nil {
-			panic(err) // parameter lengths are fixed by construction
-		}
-		f := energy
-		if opts.Shots > 0 {
-			hist := s.Sample(opts.Shots, shotRand)
-			total := 0.0
-			for basis, count := range hist {
-				total += table[basis] * float64(count)
-			}
-			f = total / float64(opts.Shots)
-		}
-		return -f // optimizers minimize
-	}
-
 	x0 := make([]float64, 2*p)
 	initGammas, initBetas := InitialParameters(p)
 	if opts.InitGammas != nil || opts.InitBetas != nil {
@@ -235,28 +227,19 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 	copy(x0[p:], initBetas)
 
 	var res opt.Result
-	switch opts.Optimizer {
-	case COBYLA:
-		res = opt.MinimizeCOBYLA(objective, x0, opt.COBYLAOptions{
-			Rhobeg:   opts.Rhobeg,
-			MaxEvals: opts.MaxIters,
-		})
-	case NelderMead:
-		res = opt.MinimizeNelderMead(objective, x0, opt.NelderMeadOptions{
-			Step:     opts.Rhobeg,
-			MaxEvals: opts.MaxIters,
-		})
-	case SPSA:
-		res = opt.MinimizeSPSA(objective, x0, opt.SPSAOptions{
-			C:        opts.Rhobeg / 2,
-			MaxEvals: opts.MaxIters,
-			Seed:     opts.Seed,
-		})
-	default:
-		return nil, fmt.Errorf("qaoa: unknown optimizer %v", opts.Optimizer)
+	var err2 error
+	if opts.Restarts > 1 {
+		res, err2 = multiStart(ans, opts, x0, shotRand, table)
+	} else {
+		res, err2 = runOptimizer(ans, opts, x0, shotRand, table, opts.Seed)
+	}
+	if err2 != nil {
+		return nil, err2
 	}
 
 	// Re-run at the best parameters for decoding and exact expectation.
+	gammas := make([]float64, p)
+	betas := make([]float64, p)
 	copy(gammas, res.X[:p])
 	copy(betas, res.X[p:])
 	expectation, s, err := ans.Evaluate(gammas, betas)
@@ -280,6 +263,180 @@ func Solve(g *graph.Graph, opts Options, r *rng.Rand) (*Result, error) {
 		State:       s,
 		Layout:      layout,
 	}, nil
+}
+
+// minimize dispatches one optimizer run on the objective.
+func minimize(opts Options, objective func([]float64) float64, x0 []float64, seed uint64) (opt.Result, error) {
+	switch opts.Optimizer {
+	case COBYLA:
+		return opt.MinimizeCOBYLA(objective, x0, opt.COBYLAOptions{
+			Rhobeg:   opts.Rhobeg,
+			MaxEvals: opts.MaxIters,
+		}), nil
+	case NelderMead:
+		return opt.MinimizeNelderMead(objective, x0, opt.NelderMeadOptions{
+			Step:     opts.Rhobeg,
+			MaxEvals: opts.MaxIters,
+		}), nil
+	case SPSA:
+		return opt.MinimizeSPSA(objective, x0, opt.SPSAOptions{
+			C:        opts.Rhobeg / 2,
+			MaxEvals: opts.MaxIters,
+			Seed:     seed,
+		}), nil
+	default:
+		return opt.Result{}, fmt.Errorf("qaoa: unknown optimizer %v", opts.Optimizer)
+	}
+}
+
+// sampledEnergy estimates ⟨H_C⟩ from a finite-shot histogram of s.
+func sampledEnergy(s *qsim.State, table []float64, shots int, r *rng.Rand) float64 {
+	hist := s.Sample(shots, r)
+	total := 0.0
+	for basis, count := range hist {
+		total += table[basis] * float64(count)
+	}
+	return total / float64(shots)
+}
+
+// runOptimizer performs a single optimizer run from x0; objective
+// evaluations go straight through the ansatz (with optional shot
+// sampling from shotRand).
+func runOptimizer(ans backend.Ansatz, opts Options, x0 []float64, shotRand *rng.Rand, table []float64, seed uint64) (opt.Result, error) {
+	p := opts.Layers
+	objective := func(x []float64) float64 {
+		energy, s, err := ans.Evaluate(x[:p], x[p:])
+		if err != nil {
+			panic(err) // parameter lengths are fixed by construction
+		}
+		f := energy
+		if opts.Shots > 0 {
+			f = sampledEnergy(s, table, opts.Shots, shotRand)
+		}
+		return -f // optimizers minimize
+	}
+	return minimize(opts, objective, x0, seed)
+}
+
+// multiStart runs opts.Restarts lockstep optimizer instances over ONE
+// shared prepared ansatz. Each restart is a goroutine whose objective
+// blocks on a request to the coordinator; the coordinator waits until
+// every still-active restart has a request outstanding and answers the
+// whole wave at once — through backend.EvaluateBatch (the fused
+// backend's per-worker-engine batch path) when the objective is exact,
+// or one shared-ansatz Evaluate per request with per-restart sampling
+// streams under Shots > 0. Every restart's trajectory is deterministic
+// regardless of scheduling, because its evaluations depend only on its
+// own parameter sequence (and its own sampling stream).
+func multiStart(ans backend.Ansatz, opts Options, x0 []float64, shotRand *rng.Rand, table []float64) (opt.Result, error) {
+	restarts := opts.Restarts
+	p := opts.Layers
+
+	// Start 0 is the standard initialization; the rest perturb it on a
+	// deterministic stream (a poor man's basin hopping).
+	starts := make([][]float64, restarts)
+	starts[0] = x0
+	pr := rng.New(opts.Seed ^ 0x52657374617274) // "Restart"
+	for k := 1; k < restarts; k++ {
+		xk := make([]float64, len(x0))
+		for j := range xk {
+			xk[j] = x0[j] + (pr.Float64()-0.5)*0.8
+		}
+		starts[k] = xk
+	}
+	shotRands := make([]*rng.Rand, restarts)
+	for k := range shotRands {
+		shotRands[k] = shotRand.Split(uint64(k) + 0x517)
+	}
+
+	type evalRequest struct {
+		slot int
+		x    []float64
+		resp chan float64
+	}
+	reqCh := make(chan evalRequest)
+	doneCh := make(chan struct{})
+	results := make([]opt.Result, restarts)
+	errs := make([]error, restarts)
+	for k := 0; k < restarts; k++ {
+		go func(k int) {
+			defer func() { doneCh <- struct{}{} }()
+			resp := make(chan float64)
+			objective := func(x []float64) float64 {
+				reqCh <- evalRequest{slot: k, x: x, resp: resp}
+				return <-resp
+			}
+			results[k], errs[k] = minimize(opts, objective, starts[k], opts.Seed+uint64(k)*0x9e3779b9)
+		}(k)
+	}
+
+	pending := make([]evalRequest, 0, restarts)
+	gbuf := make([][]float64, 0, restarts)
+	bbuf := make([][]float64, 0, restarts)
+	ebuf := make([]float64, restarts)
+	flush := func() {
+		if opts.Shots > 0 {
+			for _, rq := range pending {
+				_, s, err := ans.Evaluate(rq.x[:p], rq.x[p:])
+				if err != nil {
+					panic(err) // parameter lengths are fixed by construction
+				}
+				rq.resp <- -sampledEnergy(s, table, opts.Shots, shotRands[rq.slot])
+			}
+		} else {
+			gbuf, bbuf = gbuf[:0], bbuf[:0]
+			for _, rq := range pending {
+				gbuf = append(gbuf, rq.x[:p])
+				bbuf = append(bbuf, rq.x[p:])
+			}
+			if err := backend.EvaluateBatch(ans, gbuf, bbuf, ebuf[:len(pending)]); err != nil {
+				panic(err) // parameter lengths are fixed by construction
+			}
+			for i, rq := range pending {
+				rq.resp <- -ebuf[i]
+			}
+		}
+		pending = pending[:0]
+	}
+	active := restarts
+	for active > 0 {
+		select {
+		case rq := <-reqCh:
+			pending = append(pending, rq)
+		case <-doneCh:
+			active--
+		}
+		if len(pending) > 0 && len(pending) >= active {
+			flush()
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return opt.Result{}, err
+		}
+	}
+
+	// Rank the restarts by the EXACT expectation at their final
+	// parameters (one more batched evaluation), so shot noise cannot
+	// pick the winner; report the summed evaluation cost.
+	gbuf, bbuf = gbuf[:0], bbuf[:0]
+	for k := 0; k < restarts; k++ {
+		gbuf = append(gbuf, results[k].X[:p])
+		bbuf = append(bbuf, results[k].X[p:])
+	}
+	if err := backend.EvaluateBatch(ans, gbuf, bbuf, ebuf); err != nil {
+		return opt.Result{}, err
+	}
+	best, evals := 0, 0
+	for k := 0; k < restarts; k++ {
+		evals += results[k].Evals
+		if ebuf[k] > ebuf[best] {
+			best = k
+		}
+	}
+	res := results[best]
+	res.Evals = evals
+	return res, nil
 }
 
 // ZZCorrelation computes ⟨Z_i Z_j⟩ for logical nodes i, j from a final

@@ -33,6 +33,17 @@ type Options struct {
 	// set the backend inside that solver's own options instead (e.g.
 	// QAOASolver{Opts: qaoa.Options{Backend: ...}}).
 	Backend backend.Backend
+	// Restarts forwards qaoa.Options.Restarts to the DEFAULT QAOA sub-
+	// and merge solvers: every sub-graph solve runs this many batched
+	// multi-start optimizations (default 1). Like Backend, it is
+	// ignored when an explicit Solver/MergeSolver is provided.
+	//
+	// Concurrency compounds: each of up to Parallelism concurrent
+	// sub-solves fans out min(Restarts, GOMAXPROCS) batch workers (each
+	// pinning a 2^MaxQubits statevector buffer for the sub-solve's
+	// lifetime), so with Restarts > 1 consider lowering Parallelism to
+	// keep total workers near the core count.
+	Restarts int
 	// Parallelism bounds concurrent sub-graph solves (default
 	// GOMAXPROCS), standing in for the pool of simulated quantum
 	// devices / classical nodes of Fig. 2.
@@ -51,7 +62,7 @@ func (o Options) withDefaults() Options {
 		o.MaxQubits = 16
 	}
 	if o.Solver == nil {
-		o.Solver = QAOASolver{Opts: qaoa.Options{Backend: o.Backend}}
+		o.Solver = QAOASolver{Opts: qaoa.Options{Backend: o.Backend, Restarts: o.Restarts}}
 	}
 	if o.MergeSolver == nil {
 		o.MergeSolver = o.Solver
@@ -284,6 +295,7 @@ func solveMerge(merged *graph.Graph, opts Options, level int) ([]int8, int, erro
 		Solver:      opts.MergeSolver,
 		MergeSolver: opts.MergeSolver,
 		Backend:     opts.Backend,
+		Restarts:    opts.Restarts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed ^ (uint64(level) * 0xabcd),
 	})

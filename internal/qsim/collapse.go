@@ -83,7 +83,7 @@ func (s *State) collapse(bit uint64, outcome uint8, p1 float64) {
 		return
 	}
 	scale := complex(1/math.Sqrt(keepProb), 0)
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			hasBit := uint64(i)&bit != 0
 			if hasBit == (outcome == 1) {

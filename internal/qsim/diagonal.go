@@ -14,7 +14,7 @@ import "math"
 // every objective evaluation to recycle the buffer.
 func (s *State) FillPlus() {
 	amp := complex(1/math.Sqrt(float64(len(s.amps))), 0)
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			s.amps[i] = amp
 		}
@@ -29,7 +29,7 @@ func (s *State) ApplyPhaseDiagonal(theta float64, diag []float64) {
 	if len(diag) != len(s.amps) {
 		panic("qsim: phase diagonal length mismatch")
 	}
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			sin, cos := math.Sincos(-theta * diag[i])
 			s.amps[i] *= complex(cos, sin)
@@ -43,16 +43,28 @@ func (s *State) ApplyPhaseDiagonal(theta float64, diag []float64) {
 // replacing a Sincos per amplitude with one per level — the common case
 // for unweighted MaxCut, whose cut values are the integers 0..m.
 // len(idx) must be 2^n and every idx[i] must index levels.
+//
+// This convenience form allocates the per-level factor table on every
+// call; hot loops (thousands of evaluations per sub-graph) should hold
+// a scratch slice and use ApplyPhaseDiagonalIndexedScratch.
 func (s *State) ApplyPhaseDiagonalIndexed(theta float64, levels []float64, idx []int32) {
+	s.ApplyPhaseDiagonalIndexedScratch(theta, levels, idx, make([]complex128, len(levels)))
+}
+
+// ApplyPhaseDiagonalIndexedScratch is ApplyPhaseDiagonalIndexed with a
+// caller-owned scratch slice for the per-level phase factors
+// (len(scratch) ≥ len(levels)), making repeated applications
+// allocation-free.
+func (s *State) ApplyPhaseDiagonalIndexedScratch(theta float64, levels []float64, idx []int32, scratch []complex128) {
 	if len(idx) != len(s.amps) {
 		panic("qsim: phase diagonal index length mismatch")
 	}
-	phases := make([]complex128, len(levels))
+	phases := scratch[:len(levels)]
 	for j, v := range levels {
 		sin, cos := math.Sincos(-theta * v)
 		phases[j] = complex(cos, sin)
 	}
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			s.amps[i] *= phases[idx[i]]
 		}

@@ -1,0 +1,295 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Engine is the fused-layer QAOA evaluator: a persistent execution
+// object prepared once per (qubit count, cost diagonal) that runs whole
+// p-layer objective evaluations with the minimum number of statevector
+// sweeps and ZERO steady-state allocations. It is the engine behind
+// internal/backend's fused path; the optimizer inner loop calls
+// Evaluate thousands of times per sub-graph.
+//
+// Fusion layout per layer (blocked mixer geometry of mixer.go):
+//
+//   - The cost-phase pass e^{-iγD} is folded into the LOW mixer sweep's
+//     tile load: each cache-resident tile is phased and butterflied in
+//     one touch. On the first layer the |+⟩^⊗n preparation folds in
+//     too — amplitudes are synthesized in place (phase · 2^{-n/2}), so
+//     the evaluation never does a separate FillPlus sweep.
+//
+//   - The energy ⟨ψ|D|ψ⟩ is folded into the LAST mixer sweep of the
+//     last layer, accumulated per chunk while the tiles are still in
+//     cache, so no separate ExpectDiagonal sweep runs either.
+//
+// A p-layer evaluation therefore touches the state p·⌈1 + (n−10)/6⌉
+// times instead of the p·(1+n) + 2 sweeps of the unfused kernel walk.
+//
+// Allocation-freedom: the pass bodies are closures created once at
+// construction and parameterized through Engine fields; the per-layer
+// phase table, the expectation partials and the dispatch WaitGroup are
+// hoisted into the Engine. An Engine is NOT safe for concurrent use —
+// batch drivers create one Engine per worker (see SetSerial).
+type Engine struct {
+	state *State
+	n     int
+
+	diag   []float64    // expectation diagonal: ⟨D⟩ table (cut values)
+	levels []float64    // distinct phase-diagonal values (indexed path)
+	idx    []int32      // phase diagonal = levels[idx[i]] (indexed path)
+	shift  []float64    // dense phase diagonal (fallback path)
+	phases []complex128 // per-layer scratch: e^{-iγ·levels[j]}
+
+	partials []float64 // per-chunk energy accumulators
+	wg       sync.WaitGroup
+
+	// Current pass parameters, read by the prepared bodies.
+	gamma  float64 // cost angle of the current layer
+	c, sn  float64 // cos β, sin β of the current layer
+	first  bool    // layer 0: synthesize phase·|+⟩ in place of loading
+	expect bool    // accumulate ⟨D⟩ during this pass
+	g0, m  int     // current high-group qubit range [g0, g0+m)
+
+	m0       int // low-group qubit count: min(n, lowBlockQubits)
+	lowBody  func(w, start, end int)
+	highBody func(w, start, end int)
+}
+
+// NewEngine builds an evaluator for an n-qubit cost diagonal. diag is
+// the expectation table (len 2^n). The phase diagonal — the cost table
+// shifted to reproduce the gate walk's global phase — is given either
+// factored as (levels, idx) with phase[i] = levels[idx[i]] (the indexed
+// fast path: one Sincos per distinct value) or dense as shift (one
+// Sincos per amplitude); exactly one form must be non-nil.
+func NewEngine(n int, diag []float64, levels []float64, idx []int32, shift []float64) (*Engine, error) {
+	s, err := NewState(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(diag) != s.Len() {
+		return nil, fmt.Errorf("qsim: engine diagonal has %d entries, want %d", len(diag), s.Len())
+	}
+	indexed := levels != nil || idx != nil
+	if indexed && (levels == nil || idx == nil) {
+		return nil, fmt.Errorf("qsim: engine phase levels and index must be given together")
+	}
+	if indexed == (shift != nil) {
+		return nil, fmt.Errorf("qsim: engine needs exactly one of (levels, idx) or shift")
+	}
+	if indexed && len(idx) != s.Len() {
+		return nil, fmt.Errorf("qsim: engine phase index has %d entries, want %d", len(idx), s.Len())
+	}
+	if shift != nil && len(shift) != s.Len() {
+		return nil, fmt.Errorf("qsim: engine phase diagonal has %d entries, want %d", len(shift), s.Len())
+	}
+	e := &Engine{
+		state:  s,
+		n:      n,
+		diag:   diag,
+		levels: levels,
+		idx:    idx,
+		shift:  shift,
+		phases: make([]complex128, len(levels)),
+		m0:     n,
+	}
+	if e.m0 > lowBlockQubits {
+		e.m0 = lowBlockQubits
+	}
+	workers := 1
+	if p := s.kernelPool(); p != nil {
+		workers = p.workers
+	}
+	e.partials = make([]float64, workers)
+	e.lowBody = e.runLowChunk
+	e.highBody = e.runHighChunk
+	return e, nil
+}
+
+// State returns the engine's statevector buffer: after Evaluate it
+// holds the final state, valid until the next Evaluate.
+func (e *Engine) State() *State { return e.state }
+
+// SetSerial forces single-goroutine kernel execution (see
+// State.SetSerial); batch drivers set it on their per-worker engines.
+func (e *Engine) SetSerial(serial bool) { e.state.SetSerial(serial) }
+
+// Evaluate runs the full p-layer fused evaluation at (γ⃗, β⃗) — the
+// ansatz Π_l RX(2β_l)^⊗n · e^{-iγ_l D'} |+⟩^⊗n — and returns the exact
+// energy ⟨ψ|D|ψ⟩. len(gammas) must equal len(betas); p = 0 degenerates
+// to ⟨+|D|+⟩.
+func (e *Engine) Evaluate(gammas, betas []float64) float64 {
+	if len(gammas) != len(betas) {
+		panic(fmt.Sprintf("qsim: engine got %d gammas but %d betas", len(gammas), len(betas)))
+	}
+	p := len(gammas)
+	if p == 0 {
+		e.state.FillPlus()
+		return e.state.ExpectDiagonal(e.diag)
+	}
+	groups := 1 + (e.n-e.m0+mixerBlockQubits-1)/mixerBlockQubits
+	tiles := len(e.state.amps) >> uint(e.m0)
+	for l := 0; l < p; l++ {
+		e.gamma = gammas[l]
+		e.c = math.Cos(betas[l]) // RX(2β): θ/2 = β
+		e.sn = math.Sin(betas[l])
+		e.first = l == 0
+		last := l == p-1
+		if e.levels != nil {
+			amp := 1.0
+			if e.first {
+				amp = 1 / math.Sqrt(float64(len(e.state.amps)))
+			}
+			for j, v := range e.levels {
+				sin, cos := math.Sincos(-e.gamma * v)
+				e.phases[j] = complex(amp*cos, amp*sin)
+			}
+		}
+		e.expect = last && groups == 1
+		if e.expect {
+			e.resetPartials()
+		}
+		e.dispatch(tiles, 1<<uint(e.m0), e.lowBody)
+		for g0 := e.m0; g0 < e.n; g0 += mixerBlockQubits {
+			e.g0 = g0
+			e.m = e.n - g0
+			if e.m > mixerBlockQubits {
+				e.m = mixerBlockQubits
+			}
+			e.expect = last && g0+mixerBlockQubits >= e.n
+			if e.expect {
+				e.resetPartials()
+			}
+			batches := len(e.state.amps) >> uint(e.m) / highBatch
+			e.dispatch(batches, 1<<uint(e.m)*highBatch, e.highBody)
+		}
+	}
+	total := 0.0
+	for _, v := range e.partials {
+		total += v
+	}
+	return total
+}
+
+func (e *Engine) resetPartials() {
+	for i := range e.partials {
+		e.partials[i] = 0
+	}
+}
+
+// dispatch runs a prepared pass body over [0, total) chunks through the
+// kernel pool, inline when the sweep is small or the state is serial.
+func (e *Engine) dispatch(total, itemLen int, body func(w, start, end int)) {
+	p := e.state.kernelPool()
+	if p == nil || total*itemLen < parallelThreshold {
+		body(0, 0, total)
+		return
+	}
+	if p.workers > len(e.partials) {
+		// The pool grew after construction (pool override on the state);
+		// re-size outside the steady-state path.
+		e.partials = make([]float64, p.workers)
+	}
+	p.run(total, body, &e.wg)
+}
+
+// runLowChunk is the fused low sweep: per contiguous tile, apply the
+// cost phases (synthesizing the first layer's phase·|+⟩ directly), run
+// the low butterfly levels, and — when this is the evaluation's final
+// sweep — accumulate the energy while the tile is cache-resident.
+func (e *Engine) runLowChunk(w, start, end int) {
+	amps := e.state.amps
+	tl := 1 << uint(e.m0)
+	c, sn := e.c, e.sn
+	acc := 0.0
+	for t := start; t < end; t++ {
+		base := t * tl
+		buf := amps[base : base+tl]
+		if e.levels != nil {
+			idx := e.idx[base : base+tl]
+			ph := e.phases
+			if e.first {
+				for i := range buf {
+					buf[i] = ph[idx[i]]
+				}
+			} else {
+				for i := range buf {
+					buf[i] *= ph[idx[i]]
+				}
+			}
+		} else {
+			sh := e.shift[base : base+tl]
+			gamma := e.gamma
+			if e.first {
+				amp0 := 1 / math.Sqrt(float64(len(amps)))
+				for i := range buf {
+					sin, cos := math.Sincos(-gamma * sh[i])
+					buf[i] = complex(amp0*cos, amp0*sin)
+				}
+			} else {
+				for i := range buf {
+					sin, cos := math.Sincos(-gamma * sh[i])
+					buf[i] *= complex(cos, sin)
+				}
+			}
+		}
+		rxTile(buf, 1, c, sn)
+		if e.expect {
+			d := e.diag[base : base+tl]
+			for i := range buf {
+				a := buf[i]
+				re, im := real(a), imag(a)
+				acc += (re*re + im*im) * d[i]
+			}
+		}
+	}
+	if e.expect {
+		e.partials[w] += acc
+	}
+}
+
+// runHighChunk is the gathered high sweep of mixer.go's rxHighPass,
+// plus the optional cache-resident energy fold on the final sweep.
+func (e *Engine) runHighChunk(w, start, end int) {
+	amps := e.state.amps
+	tl := 1 << uint(e.m)
+	stride := 1 << uint(e.g0)
+	mask := stride - 1
+	c, sn := e.c, e.sn
+	acc := 0.0
+	var buf [highBufLen]complex128
+	bb := buf[:tl*highBatch]
+	for u := start; u < end; u++ {
+		t := u * highBatch
+		base := (t&^mask)<<uint(e.m) | t&mask
+		p := base
+		for v := 0; v < tl; v++ {
+			copy(bb[v*highBatch:(v+1)*highBatch], amps[p:p+highBatch])
+			p += stride
+		}
+		rxTile(bb, highBatch, c, sn)
+		if e.expect {
+			p = base
+			for v := 0; v < tl; v++ {
+				d := e.diag[p : p+highBatch]
+				row := bb[v*highBatch : (v+1)*highBatch]
+				for j := range row {
+					a := row[j]
+					re, im := real(a), imag(a)
+					acc += (re*re + im*im) * d[j]
+				}
+				p += stride
+			}
+		}
+		p = base
+		for v := 0; v < tl; v++ {
+			copy(amps[p:p+highBatch], bb[v*highBatch:(v+1)*highBatch])
+			p += stride
+		}
+	}
+	if e.expect {
+		e.partials[w] += acc
+	}
+}

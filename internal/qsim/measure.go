@@ -18,7 +18,7 @@ func (s *State) Probability(i uint64) float64 {
 // working at high qubit counts should prefer the streaming accessors.
 func (s *State) Probabilities() []float64 {
 	p := make([]float64, len(s.amps))
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			a := s.amps[i]
 			re, im := real(a), imag(a)
@@ -139,7 +139,7 @@ func (s *State) ExpectDiagonal(table []float64) float64 {
 	}
 	var mu sync.Mutex
 	total := 0.0
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		acc := 0.0
 		for i := start; i < end; i++ {
 			a := s.amps[i]

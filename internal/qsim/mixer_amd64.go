@@ -1,0 +1,44 @@
+//go:build amd64
+
+package qsim
+
+import "os"
+
+// rxTileAsm is the AVX2+FMA butterfly-network tile kernel
+// (mixer_amd64.s). buf must hold n complex128 values; n and h0 are
+// powers of two with n ≥ 2·h0. Callers must have checked useMixerAsm.
+//
+//go:noescape
+func rxTileAsm(buf *complex128, n, h0 int, c, sn float64)
+
+// cpuidex executes CPUID with the given leaf/sub-leaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (OS-enabled SIMD state).
+func xgetbv0() (eax, edx uint32)
+
+// useMixerAsm gates the assembly tile kernel: the CPU must have AVX2 and
+// FMA and the OS must save YMM state. QAOA2_NOASM=1 forces the portable
+// Go kernel (debugging, fallback-path benchmarking); tests flip the
+// variable directly to cover both paths.
+var useMixerAsm = detectAVX2FMA() && os.Getenv("QAOA2_NOASM") == ""
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const fmaBit, osxsaveBit, avxBit = 1 << 12, 1 << 27, 1 << 28
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	xeax, _ := xgetbv0()
+	if xeax&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

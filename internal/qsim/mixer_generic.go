@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package qsim
+
+// useMixerAsm is false off amd64: rxTile always takes the portable Go
+// kernel.
+var useMixerAsm = false
+
+// rxTileAsm is never called when useMixerAsm is false; this stub only
+// satisfies the reference in rxTile.
+func rxTileAsm(buf *complex128, n, h0 int, c, sn float64) {
+	panic("qsim: rxTileAsm without assembly support")
+}

@@ -1,0 +1,128 @@
+package qsim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The worker pool is the scheduling half of the fused execution engine
+// (engine.go): gate kernels are memory-bandwidth-bound sweeps whose
+// per-call cost is a few hundred microseconds at most, so spawning a
+// fresh goroutine fan-out per kernel call — the pre-engine parFor —
+// makes the optimizer inner loop scheduler-bound. Instead a fixed set
+// of workers is started once per process and kernel calls submit chunk
+// descriptors to them; a chunk descriptor is a plain struct, so a
+// dispatch allocates nothing and costs two channel operations per
+// worker.
+//
+// Lifecycle: the shared pool starts lazily on the first parallel kernel
+// call (honoring GOMAXPROCS at that moment) and lives for the process —
+// idle workers block on the task channel and cost nothing. Tests and
+// batch drivers can create private pools (newWorkerPool) and Stop them.
+
+// poolTask is one chunk of a parallel kernel sweep: body(w, start, end)
+// where w is the chunk index (used by reductions to pick a private
+// accumulator slot).
+type poolTask struct {
+	body       func(w, start, end int)
+	w          int
+	start, end int
+	wg         *sync.WaitGroup
+}
+
+// workerPool is a persistent set of kernel workers.
+type workerPool struct {
+	workers int
+	tasks   chan poolTask
+}
+
+// newWorkerPool starts a pool with the given number of workers. Fewer
+// than two workers cannot outrun the caller's own goroutine, so the
+// constructor returns nil (the "run inline" sentinel) in that case.
+func newWorkerPool(workers int) *workerPool {
+	if workers < 2 {
+		return nil
+	}
+	p := &workerPool{workers: workers, tasks: make(chan poolTask, 2*workers)}
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *workerPool) work() {
+	for t := range p.tasks {
+		t.body(t.w, t.start, t.end)
+		t.wg.Done()
+	}
+}
+
+// Stop terminates the workers. Only pools created by newWorkerPool
+// callers (tests, benchmarks) need stopping; the shared pool lives for
+// the process. Run must not be in flight.
+func (p *workerPool) Stop() {
+	close(p.tasks)
+}
+
+// run splits [0, total) into at most p.workers chunks, executes the
+// last chunk on the calling goroutine, and blocks until all chunks are
+// done. wg is caller-owned so steady-state dispatch allocates nothing;
+// it must be quiescent (counter zero) on entry. The chunk index passed
+// to body is always < p.workers.
+func (p *workerPool) run(total int, body func(w, start, end int), wg *sync.WaitGroup) {
+	workers := p.workers
+	if workers > total {
+		workers = total
+	}
+	if workers < 2 {
+		body(0, 0, total)
+		return
+	}
+	chunk := (total + workers - 1) / workers
+	chunks := (total + chunk - 1) / chunk
+	wg.Add(chunks - 1)
+	for w := 0; w < chunks-1; w++ {
+		start := w * chunk
+		p.tasks <- poolTask{body: body, w: w, start: start, end: start + chunk, wg: wg}
+	}
+	body(chunks-1, (chunks-1)*chunk, total)
+	wg.Wait()
+}
+
+var (
+	sharedPoolOnce sync.Once
+	sharedPool     *workerPool
+)
+
+// defaultPool returns the process-wide kernel pool, starting it on
+// first use (nil on single-CPU processes: every kernel runs inline).
+func defaultPool() *workerPool {
+	sharedPoolOnce.Do(func() {
+		sharedPool = newWorkerPool(runtime.GOMAXPROCS(0))
+	})
+	return sharedPool
+}
+
+// kernelPool resolves the pool a kernel on s should dispatch to: nil
+// means run inline (serial states, single-CPU processes).
+func (s *State) kernelPool() *workerPool {
+	if s.serial {
+		return nil
+	}
+	if s.pool != nil {
+		return s.pool
+	}
+	return defaultPool()
+}
+
+// parFor runs body(start, end) over [0, total) split across the
+// kernel pool, inline when the sweep is too small to amortize dispatch.
+func (s *State) parFor(total int, body func(start, end int)) {
+	p := s.kernelPool()
+	if p == nil || total < parallelThreshold {
+		body(0, total)
+		return
+	}
+	var wg sync.WaitGroup
+	p.run(total, func(_, start, end int) { body(start, end) }, &wg)
+}

@@ -1,0 +1,78 @@
+package qsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkerPoolCoversRange: every index in [0, total) is visited
+// exactly once, chunk indices stay below the worker count, and the
+// caller-owned WaitGroup is reusable across calls.
+func TestWorkerPoolCoversRange(t *testing.T) {
+	p := newWorkerPool(4)
+	if p == nil {
+		t.Fatal("newWorkerPool(4) returned nil")
+	}
+	defer p.Stop()
+	var wg sync.WaitGroup
+	for _, total := range []int{1, 3, 4, 17, 1000} {
+		visits := make([]int32, total)
+		p.run(total, func(w, start, end int) {
+			if w < 0 || w >= 4 {
+				t.Errorf("chunk index %d out of range", w)
+			}
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		}, &wg)
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("total=%d: index %d visited %d times", total, i, v)
+			}
+		}
+	}
+}
+
+// TestWorkerPoolConcurrentCallers: multiple goroutines dispatching to
+// one pool at once (the QAOA² parallel sub-solve pattern) must not
+// interleave their chunk accounting — this is the -race coverage for
+// the shared task channel.
+func TestWorkerPoolConcurrentCallers(t *testing.T) {
+	p := newWorkerPool(3)
+	defer p.Stop()
+	const callers, total = 5, 2048
+	var outer sync.WaitGroup
+	sums := make([]int64, callers)
+	for c := 0; c < callers; c++ {
+		outer.Add(1)
+		go func(c int) {
+			defer outer.Done()
+			var wg sync.WaitGroup
+			var sum int64
+			for iter := 0; iter < 20; iter++ {
+				p.run(total, func(_, start, end int) {
+					var local int64
+					for i := start; i < end; i++ {
+						local += int64(i)
+					}
+					atomic.AddInt64(&sum, local)
+				}, &wg)
+			}
+			sums[c] = sum
+		}(c)
+	}
+	outer.Wait()
+	want := int64(20) * total * (total - 1) / 2
+	for c, got := range sums {
+		if got != want {
+			t.Fatalf("caller %d: sum %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestWorkerPoolSingleWorkerIsNil(t *testing.T) {
+	if p := newWorkerPool(1); p != nil {
+		t.Fatal("single-worker pool should be the inline sentinel nil")
+	}
+}

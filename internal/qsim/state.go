@@ -11,6 +11,14 @@
 //     element-wise phase pass instead of a per-gate walk — the gate-walk
 //     path above is only one of the execution backends;
 //
+//   - a cache-blocked fused execution engine for the QAOA objective:
+//     the blocked multi-qubit mixer ApplyRXAll (mixer.go, with an
+//     AVX2+FMA fast path on amd64) and Engine (engine.go), which runs
+//     whole p-layer evaluations — phase, mixer, initial state and
+//     energy reduction fused into ⌈1 + (n−10)/6⌉ sweeps per layer —
+//     with zero steady-state allocations over a persistent worker pool
+//     (pool.go);
+//
 //   - measurement: probability extraction, shot sampling, highest- and
 //     top-K-amplitude queries (the paper decodes the best-amplitude bit
 //     string; top-K is its suggested improvement);
@@ -27,8 +35,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"runtime"
-	"sync"
 )
 
 // MaxQubits caps state allocation (2^26 amplitudes = 1 GiB); larger
@@ -39,6 +45,13 @@ const MaxQubits = 26
 type State struct {
 	n    int
 	amps []complex128
+	// pool overrides the shared kernel worker pool (tests, private
+	// engines); nil selects the process-wide pool.
+	pool *workerPool
+	// serial forces every kernel to run on the calling goroutine. Batch
+	// evaluators set it so concurrent per-worker states do not fight
+	// over the pool (outer-level parallelism already saturates cores).
+	serial bool
 }
 
 // NewState allocates |0...0⟩ on n qubits.
@@ -81,12 +94,18 @@ func (s *State) Amp(i uint64) complex128 { return s.amps[i] }
 // SetAmp assigns the amplitude of basis state i (for tests).
 func (s *State) SetAmp(i uint64, v complex128) { s.amps[i] = v }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state (including its serial/pool kernel mode).
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps)), pool: s.pool, serial: s.serial}
 	copy(c.amps, s.amps)
 	return c
 }
+
+// SetSerial forces (true) or re-enables (false) single-goroutine kernel
+// execution on this state. Serial states are what batch evaluators hand
+// to their workers: the batch level already saturates the cores, so
+// inner kernel parallelism would only thrash the shared pool.
+func (s *State) SetSerial(serial bool) { s.serial = serial }
 
 // NormSquared returns ⟨ψ|ψ⟩, which is 1 for a valid state.
 func (s *State) NormSquared() float64 {
@@ -124,38 +143,9 @@ func Fidelity(s, t *State) float64 {
 }
 
 // parallelThreshold is the amplitude count below which gate kernels stay
-// single-threaded (goroutine overhead dominates under ~2^14 amplitudes).
+// single-threaded (dispatch overhead dominates under ~2^14 amplitudes).
+// Parallel execution goes through the persistent worker pool (pool.go).
 const parallelThreshold = 1 << 14
-
-// parFor runs body(start, end) over [0, total) split across CPUs.
-func parFor(total int, body func(start, end int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if total < parallelThreshold || workers < 2 {
-		body(0, total)
-		return
-	}
-	if workers > total {
-		workers = total
-	}
-	chunk := (total + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		end := start + chunk
-		if end > total {
-			end = total
-		}
-		if start >= end {
-			break
-		}
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			body(a, b)
-		}(start, end)
-	}
-	wg.Wait()
-}
 
 // checkQubit panics on out-of-range qubit indices; gate callers are
 // internal and a silent wrap-around would corrupt the state.
@@ -178,7 +168,7 @@ func (s *State) Apply1Q(q int, m [2][2]complex128) {
 	s.checkQubit(q)
 	step := uint64(1) << uint(q)
 	pairs := len(s.amps) / 2
-	parFor(pairs, func(start, end int) {
+	s.parFor(pairs, func(start, end int) {
 		for k := start; k < end; k++ {
 			i0 := pairIndex(k, q)
 			i1 := i0 | step
@@ -200,7 +190,7 @@ func (s *State) ApplyX(q int) {
 	s.checkQubit(q)
 	step := uint64(1) << uint(q)
 	pairs := len(s.amps) / 2
-	parFor(pairs, func(start, end int) {
+	s.parFor(pairs, func(start, end int) {
 		for k := start; k < end; k++ {
 			i0 := pairIndex(k, q)
 			i1 := i0 | step
@@ -218,7 +208,7 @@ func (s *State) ApplyY(q int) {
 func (s *State) ApplyZ(q int) {
 	s.checkQubit(q)
 	step := uint64(1) << uint(q)
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			if uint64(i)&step != 0 {
 				s.amps[i] = -s.amps[i]
@@ -238,7 +228,7 @@ func (s *State) ApplyRX(q int, theta float64) {
 	sn := math.Sin(theta / 2)
 	step := uint64(1) << uint(q)
 	pairs := len(s.amps) / 2
-	parFor(pairs, func(start, end int) {
+	s.parFor(pairs, func(start, end int) {
 		for k := start; k < end; k++ {
 			i0 := pairIndex(k, q)
 			i1 := i0 | step
@@ -263,7 +253,7 @@ func (s *State) ApplyRZ(q int, theta float64) {
 	step := uint64(1) << uint(q)
 	p0 := cmplx.Exp(complex(0, -theta/2))
 	p1 := cmplx.Exp(complex(0, theta/2))
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			if uint64(i)&step == 0 {
 				s.amps[i] *= p0
@@ -287,7 +277,7 @@ func (s *State) ApplyRZZ(q1, q2 int, theta float64) {
 	b2 := uint64(1) << uint(q2)
 	same := cmplx.Exp(complex(0, -theta/2))
 	diff := cmplx.Exp(complex(0, theta/2))
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			u := uint64(i)
 			if (u&b1 != 0) == (u&b2 != 0) {
@@ -312,7 +302,7 @@ func (s *State) ApplyCNOT(control, target int) {
 	// bit clear; enumerating pairs over the target qubit keeps each swap
 	// visited exactly once.
 	pairs := len(s.amps) / 2
-	parFor(pairs, func(start, end int) {
+	s.parFor(pairs, func(start, end int) {
 		for k := start; k < end; k++ {
 			i0 := pairIndex(k, target)
 			if i0&cb == 0 {
@@ -334,7 +324,7 @@ func (s *State) ApplyCZ(q1, q2 int) {
 	b1 := uint64(1) << uint(q1)
 	b2 := uint64(1) << uint(q2)
 	both := b1 | b2
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			if uint64(i)&both == both {
 				s.amps[i] = -s.amps[i]
@@ -352,7 +342,7 @@ func (s *State) ApplySwap(q1, q2 int) {
 	}
 	b1 := uint64(1) << uint(q1)
 	b2 := uint64(1) << uint(q2)
-	parFor(len(s.amps), func(start, end int) {
+	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
 			u := uint64(i)
 			x1 := u & b1
@@ -383,7 +373,7 @@ func (s *State) Apply2Q(q1, q2 int, m [4][4]complex128) {
 	}
 	loMask := uint64(1)<<uint(lo) - 1
 	midMask := uint64(1)<<uint(hi-1) - 1 ^ loMask
-	parFor(quads, func(start, end int) {
+	s.parFor(quads, func(start, end int) {
 		for k := start; k < end; k++ {
 			uk := uint64(k)
 			// Spread k into an index with zeros at bit positions lo, hi.

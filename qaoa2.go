@@ -131,6 +131,17 @@ type (
 // "" selects the default rule at solve time).
 func BackendByName(name string) (Backend, error) { return backend.ByName(name) }
 
+// BatchEvaluator is the optional batched extension of Ansatz
+// (implemented by the fused backend): EvaluateBatch evaluates K
+// parameter vectors over persistent per-worker state buffers.
+type BatchEvaluator = backend.BatchEvaluator
+
+// EvaluateBatch evaluates K (γ⃗, β⃗) parameter vectors through the
+// ansatz's native batch path when available, sequentially otherwise.
+func EvaluateBatch(a Ansatz, gammas, betas [][]float64, energies []float64) error {
+	return backend.EvaluateBatch(a, gammas, betas, energies)
+}
+
 // Goemans-Williamson.
 type (
 	// GWOptions configures SolveGW.

@@ -1,21 +1,27 @@
 // Command workflow demonstrates the paper's HPC-side results: the
 // Fig. 1 heterogeneous-job idle-time reduction, the Fig. 2
-// coordinator/worker distribution scheme, and the cache-blocking
-// distributed-statevector scaling measurement.
+// coordinator/worker distribution scheme, the cache-blocking
+// distributed-statevector scaling measurement — and, beyond the
+// virtual-time simulator, a REAL solve through the asynchronous
+// task-graph runtime with checkpoint/resume.
 //
 // Usage:
 //
-//	workflow              # all three experiments at default scale
+//	workflow              # all experiments at default scale
 //	workflow -jobs 8 -workers 1,2,4,8
+//	workflow -solve-nodes 200 -checkpoint run.ckpt   # kill it, re-run: it resumes
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
+	"qaoa2"
 	"qaoa2/internal/experiments"
 )
 
@@ -27,6 +33,13 @@ func main() {
 		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for the Fig. 2 sweep")
 		qubits  = flag.Int("qubits", 16, "statevector size for the scaling experiment")
 		ranks   = flag.String("ranks", "1,2,4,8", "comma-separated rank counts (powers of two)")
+
+		solveNodes  = flag.Int("solve-nodes", 120, "graph size for the task-graph runtime solve (0 skips it)")
+		solveProb   = flag.Float64("solve-p", 0.08, "edge probability for the runtime solve")
+		solveQubits = flag.Int("solve-qubits", 12, "qubit budget for the runtime solve")
+		solvePar    = flag.Int("solve-parallelism", 0, "runtime worker-pool size (0 = GOMAXPROCS)")
+		solveSeed   = flag.Uint64("solve-seed", 3, "seed for the runtime solve")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint file for the runtime solve (resumes when present)")
 	)
 	flag.Parse()
 
@@ -58,6 +71,64 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderScaling(scaling))
+
+	if *solveNodes > 0 {
+		fmt.Println()
+		if err := runtimeDemo(os.Stdout, *solveNodes, *solveProb, *solveQubits,
+			*solvePar, *solveSeed, *checkpoint); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runtimeDemo runs one QAOA² solve through the asynchronous task-graph
+// runtime (the real counterpart of the simulated schedule above),
+// streaming completed tasks and reporting checkpoint restores.
+func runtimeDemo(w io.Writer, nodes int, p float64, maxQubits, parallelism int,
+	seed uint64, checkpoint string) error {
+	g := qaoa2.ErdosRenyi(nodes, p, qaoa2.Unweighted, qaoa2.NewRand(seed))
+	fmt.Fprintf(w, "task-graph runtime solve on %v (cap %d qubits", g, maxQubits)
+	if checkpoint != "" {
+		fmt.Fprintf(w, ", checkpoint %s", checkpoint)
+	}
+	fmt.Fprintln(w, ")")
+
+	solves, restores := 0, 0
+	res, err := qaoa2.Solve(g, qaoa2.Options{
+		MaxQubits:   maxQubits,
+		Parallelism: parallelism,
+		Solver: qaoa2.BestOfSolver{Solvers: []qaoa2.SubSolver{
+			qaoa2.AnnealSolver{}, qaoa2.OneExchangeSolver{},
+		}},
+		MergeSolver:    qaoa2.AnnealSolver{},
+		Seed:           seed,
+		Runtime:        true,
+		CheckpointPath: checkpoint,
+		OnRuntimeEvent: func(ev qaoa2.RuntimeEvent) {
+			switch ev.Kind {
+			case "sub-solve", "merge-solve":
+				mark := ""
+				if ev.Restored {
+					mark = " (restored from checkpoint)"
+					restores++
+				} else {
+					solves++
+				}
+				fmt.Fprintf(w, "  %-12s %-10s %3d nodes  cut %8.2f%s\n",
+					ev.Task, ev.Kind, ev.Nodes, ev.Value, mark)
+			case "partition":
+				fmt.Fprintf(w, "  %-12s %-10s %3d nodes %4d edges\n",
+					ev.Task, ev.Kind, ev.Nodes, ev.Edges)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cut %.2f over %d levels, %d first-level sub-graphs (%s)\n",
+		res.Cut.Value, res.Levels, res.SubGraphs, qaoa2.SummarizeSubReports(res.SubReports))
+	fmt.Fprintf(w, "%d tasks solved, %d restored from checkpoint\n", solves, restores)
+	return nil
 }
 
 func parseInts(csv string) ([]int, error) {

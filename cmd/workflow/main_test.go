@@ -1,6 +1,44 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeDemoWithCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "demo.ckpt")
+	var first strings.Builder
+	if err := runtimeDemo(&first, 40, 0.15, 8, 2, 7, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "0 restored from checkpoint") {
+		t.Fatalf("fresh run reported restores:\n%s", first.String())
+	}
+	var second strings.Builder
+	if err := runtimeDemo(&second, 40, 0.15, 8, 2, 7, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	if !strings.Contains(out, "restored from checkpoint)") {
+		t.Fatalf("second run restored nothing:\n%s", out)
+	}
+	if !strings.Contains(out, "\n0 tasks solved") {
+		t.Fatalf("second run re-solved tasks:\n%s", out)
+	}
+	// Both runs must report the same cut line.
+	cutLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "cut ") {
+				return line
+			}
+		}
+		return ""
+	}
+	if a, b := cutLine(first.String()), cutLine(second.String()); a == "" || a != b {
+		t.Fatalf("cut lines differ: %q vs %q", a, b)
+	}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,8")

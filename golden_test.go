@@ -1,0 +1,83 @@
+package qaoa2_test
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2"
+)
+
+// TestGoldenDenseFusedParity48 guards the WHOLE stack, not only the
+// kernels: a full qaoa2.Solve on a pinned 48-node instance must agree
+// between the Dense reference backend (synth→qsim gate walk) and the
+// default Fused engine to 1e-9.
+//
+// The configuration is chosen so agreement is mathematically forced
+// rather than coincidental:
+//
+//   - MaxIters 1 pins the QAOA leaves to the deterministic linear-ramp
+//     parameters, so both backends decode the SAME state (to the 1e-12
+//     amplitude parity pinned by internal/backend/parity_test.go)
+//     instead of chaotically diverging optimizer trajectories;
+//   - ExactSolver on the single merge level makes the final cut VALUE
+//     invariant to which member of a Z2-degenerate argmax pair a
+//     backend decodes (|amp(x)| == |amp(~x)| always; complementing a
+//     sub-solution relabels the merge graph without changing the
+//     optimum it finds).
+//
+// Spins may therefore differ between backends on exactly-degenerate
+// ties; every VALUE — total, intra, cross, and each first-level
+// sub-report — must agree.
+func TestGoldenDenseFusedParity48(t *testing.T) {
+	g := qaoa2.ErdosRenyi(48, 0.15, qaoa2.Unweighted, qaoa2.NewRand(2024))
+	run := func(b qaoa2.Backend) *qaoa2.Result {
+		t.Helper()
+		res, err := qaoa2.Solve(g, qaoa2.Options{
+			MaxQubits: 12,
+			Solver: qaoa2.QAOASolver{Opts: qaoa2.QAOAOptions{
+				Layers: 2, MaxIters: 1, Backend: b,
+			}},
+			MergeSolver: qaoa2.ExactSolver{},
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Cut.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dense := run(qaoa2.DenseBackend{})
+	fused := run(qaoa2.FusedBackend{})
+
+	if math.Abs(dense.Cut.Value-fused.Cut.Value) > 1e-9 {
+		t.Fatalf("dense cut %v != fused cut %v", dense.Cut.Value, fused.Cut.Value)
+	}
+	if math.Abs(dense.IntraCut-fused.IntraCut) > 1e-9 ||
+		math.Abs(dense.CrossCut-fused.CrossCut) > 1e-9 {
+		t.Fatalf("intra/cross diverged: dense %v/%v fused %v/%v",
+			dense.IntraCut, dense.CrossCut, fused.IntraCut, fused.CrossCut)
+	}
+	if dense.Levels != fused.Levels || dense.SubGraphs != fused.SubGraphs {
+		t.Fatalf("structure diverged: dense levels=%d subs=%d, fused levels=%d subs=%d",
+			dense.Levels, dense.SubGraphs, fused.Levels, fused.SubGraphs)
+	}
+	for i := range dense.SubReports {
+		if math.Abs(dense.SubReports[i].Value-fused.SubReports[i].Value) > 1e-9 {
+			t.Fatalf("sub-graph %d: dense %v fused %v",
+				i, dense.SubReports[i].Value, fused.SubReports[i].Value)
+		}
+	}
+	// Structural goldens for the pinned instance: a real multi-part
+	// divide with a single exact merge level (the invariance argument
+	// above needs exactly one level).
+	if dense.SubGraphs < 4 || dense.Levels != 1 {
+		t.Fatalf("pinned instance: %d sub-graphs, %d levels — want ≥4 and exactly 1",
+			dense.SubGraphs, dense.Levels)
+	}
+	// And each backend must be self-deterministic end-to-end.
+	if again := run(qaoa2.FusedBackend{}); again.Cut.Value != fused.Cut.Value {
+		t.Fatalf("fused re-run drifted: %v vs %v", again.Cut.Value, fused.Cut.Value)
+	}
+}

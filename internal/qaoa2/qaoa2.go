@@ -12,6 +12,7 @@ import (
 	"qaoa2/internal/partition"
 	"qaoa2/internal/qaoa"
 	"qaoa2/internal/rng"
+	rt "qaoa2/internal/runtime"
 )
 
 // Options configures Solve.
@@ -55,6 +56,26 @@ type Options struct {
 	Partition [][]int
 	// Seed derives the per-sub-graph deterministic random streams.
 	Seed uint64
+	// Runtime executes the solve through the asynchronous task-graph
+	// runtime (internal/runtime): the same divide-and-conquer unfolded
+	// into an explicit DAG of partition/sub-solve/merge/stitch tasks
+	// run by a bounded worker pool. Results are identical to the
+	// synchronous path for every Parallelism; opt in for streaming
+	// sub-reports and checkpoint/resume.
+	Runtime bool
+	// CheckpointPath persists every completed sub-graph and merge
+	// solve to this file so an interrupted run resumes without
+	// re-solving finished tasks. Implies Runtime.
+	CheckpointPath string
+	// OnRuntimeEvent, when set, streams task-completion events
+	// (completed sub-solves as they land, merge levels, restores).
+	// Implies Runtime. Calls are serialized.
+	OnRuntimeEvent func(rt.Event)
+	// Interrupt aborts a runtime-path solve once closed: no new task
+	// starts and Solve returns runtime.ErrInterrupted after in-flight
+	// tasks finish. Completed tasks stay in the checkpoint, so a later
+	// call resumes. Implies Runtime.
+	Interrupt <-chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +124,11 @@ func Solve(g *graph.Graph, opts Options) (*Result, error) {
 	n := g.N()
 	if n == 0 {
 		return &Result{Cut: maxcut.Cut{Spins: []int8{}, Value: 0}}, nil
+	}
+
+	if opts.Runtime || opts.CheckpointPath != "" || opts.OnRuntimeEvent != nil ||
+		opts.Interrupt != nil {
+		return solveRuntime(g, opts)
 	}
 
 	// Small enough for the device: a single direct solve (unless an
@@ -267,9 +293,31 @@ func MergeSubSolutions(g *graph.Graph, parts [][]int, cuts []maxcut.Cut, opts Op
 		return maxcut.Cut{}, 0, err
 	}
 
-	flips, levels, err := solveMerge(merged, opts, 1)
-	if err != nil {
-		return maxcut.Cut{}, 0, err
+	var flips []int8
+	var levels int
+	switch {
+	case merged.M() == 0:
+		// No cross weight to gain: keep every part's orientation. This
+		// is also the recursion guard — an edgeless merge graph never
+		// contracts further. (Mirrored by the task-graph runtime.)
+		flips = make([]int8, merged.N())
+		for i := range flips {
+			flips[i] = 1
+		}
+		levels = 1
+	case merged.N() > opts.MaxQubits && merged.N() >= n:
+		// Contraction made no progress (all-singleton partition):
+		// recursing would loop forever. Orient the merge nodes with the
+		// deterministic 1-exchange local search instead. (Mirrored by
+		// the task-graph runtime.)
+		cut := maxcut.OneExchange(merged, rng.New(opts.Seed).Split(0x1e4c))
+		flips = cut.Spins
+		levels = 1
+	default:
+		flips, levels, err = solveMerge(merged, opts, 1)
+		if err != nil {
+			return maxcut.Cut{}, 0, err
+		}
 	}
 	for v := 0; v < n; v++ {
 		if flips[groupOf[v]] < 0 {

@@ -1,0 +1,297 @@
+package runtime
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sync"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/maxcut"
+)
+
+// Header identifies the run a checkpoint belongs to. A checkpoint is
+// only resumed when every field matches: the task keys ("s0/sub3",
+// "s2/merge") are positions in a deterministic computation tree, so
+// they are transferable between processes exactly when the graph, the
+// seed and the solver configuration agree.
+type Header struct {
+	Version   int    `json:"version"`
+	Graph     string `json:"graph"` // FNV-1a fingerprint of the instance
+	Seed      uint64 `json:"seed"`
+	MaxQubits int    `json:"maxQubits"`
+	Solver    string `json:"solver"`
+	Merge     string `json:"merge"`
+	// Config carries any further solver configuration that changes
+	// results without changing the solver name (backend, restarts,
+	// explicit partition); free-form fingerprint.
+	Config string `json:"config,omitempty"`
+}
+
+// checkpointVersion is bumped whenever the entry format changes.
+const checkpointVersion = 1
+
+// entry is one completed task, appended as a JSON line. Spins are
+// encoded as a +/- string; Value round-trips exactly through JSON
+// (encoding/json emits the shortest float64 representation that
+// parses back to the same bits).
+type entry struct {
+	Key    string  `json:"key"`
+	Spins  string  `json:"spins"`
+	Value  float64 `json:"value"`
+	Solver string  `json:"solver,omitempty"`
+}
+
+// Record is a restored or recorded task result.
+type Record struct {
+	Cut    maxcut.Cut
+	Solver string
+}
+
+// Checkpoint is an append-only on-disk store of completed task
+// results: a header line followed by one JSON line per task. Appends
+// are flushed and fsynced per record, so a run killed at any instant
+// loses at most the line being written — and a torn trailing line is
+// skipped on load. Safe for concurrent use by the runtime's workers.
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	entries map[string]Record
+	// restored counts entries loaded from disk at open time.
+	restored int
+}
+
+// GraphFingerprint hashes a graph instance (node count, edge
+// endpoints, weight bits) for Header.Graph.
+func GraphFingerprint(g *graph.Graph) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(g.N()))
+	for _, e := range g.Edges() {
+		put(uint64(e.I))
+		put(uint64(e.J))
+		put(math.Float64bits(e.W))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint at path. When the
+// file exists and its header matches h, previously recorded entries
+// are loaded and subsequent records append; on any mismatch or
+// corruption the file is truncated and restarted under the new
+// header.
+func OpenCheckpoint(path string, h Header) (*Checkpoint, error) {
+	h.Version = checkpointVersion
+	c := &Checkpoint{entries: make(map[string]Record)}
+	if data, err := os.ReadFile(path); err == nil {
+		// A record is only durable once its newline hit the disk: drop
+		// a torn trailing line (kill mid-append) BEFORE loading, so
+		// memory and the truncated file agree on the entry set — a
+		// complete-JSON tail missing only its '\n' must not be loaded
+		// and then silently deleted from disk.
+		valid := int64(len(data))
+		for valid > 0 && data[valid-1] != '\n' {
+			valid--
+		}
+		if c.load(data[:valid], h) {
+			f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: reopen checkpoint: %w", err)
+			}
+			if err := f.Truncate(valid); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("runtime: truncate torn checkpoint tail: %w", err)
+			}
+			if _, err := f.Seek(valid, 0); err != nil {
+				f.Close()
+				return nil, err
+			}
+			c.f = f
+			c.w = bufio.NewWriter(f)
+			return c, nil
+		}
+		// Header mismatch or corrupt header: start over.
+		c.entries = make(map[string]Record)
+		c.restored = 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: create checkpoint: %w", err)
+	}
+	c.f = f
+	c.w = bufio.NewWriter(f)
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := c.w.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := c.flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// load parses an existing checkpoint file; it returns false when the
+// header does not match (the file must be restarted). Malformed entry
+// lines — in particular a torn final line from a killed run — are
+// skipped.
+func (c *Checkpoint) load(data []byte, want Header) bool {
+	lines := splitLines(data)
+	if len(lines) == 0 {
+		return false
+	}
+	var have Header
+	if err := json.Unmarshal(lines[0], &have); err != nil || have != want {
+		return false
+	}
+	for _, line := range lines[1:] {
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			continue
+		}
+		spins, ok := decodeSpins(e.Spins)
+		if !ok {
+			continue
+		}
+		c.entries[e.Key] = Record{
+			Cut:    maxcut.Cut{Spins: spins, Value: e.Value},
+			Solver: e.Solver,
+		}
+	}
+	c.restored = len(c.entries)
+	return true
+}
+
+// Lookup returns the stored result for a task key.
+func (c *Checkpoint) Lookup(key string) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	return r, ok
+}
+
+// Restored reports how many entries were loaded from disk at open.
+func (c *Checkpoint) Restored() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.restored
+}
+
+// Len reports the total number of stored entries.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Record appends one completed task and flushes it to disk before
+// returning, so the entry survives a kill immediately after.
+func (c *Checkpoint) Record(key string, r Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return nil
+	}
+	line, err := json.Marshal(entry{
+		Key:    key,
+		Spins:  encodeSpins(r.Cut.Spins),
+		Value:  r.Cut.Value,
+		Solver: r.Solver,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := c.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("runtime: checkpoint write: %w", err)
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	c.entries[key] = r
+	return nil
+}
+
+// flush drains the buffer and fsyncs. Caller holds mu.
+func (c *Checkpoint) flush() error {
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("runtime: checkpoint flush: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("runtime: checkpoint sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.w.Flush()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}
+
+func encodeSpins(spins []int8) string {
+	b := make([]byte, len(spins))
+	for i, s := range spins {
+		if s < 0 {
+			b[i] = '-'
+		} else {
+			b[i] = '+'
+		}
+	}
+	return string(b)
+}
+
+func decodeSpins(s string) ([]int8, bool) {
+	spins := make([]int8, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '+':
+			spins[i] = 1
+		case '-':
+			spins[i] = -1
+		default:
+			return nil, false
+		}
+	}
+	return spins, true
+}
+
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				out = append(out, data[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package runtime
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qaoa2/internal/maxcut"
+)
+
+func testHeader() Header {
+	return Header{Graph: "abc123", Seed: 7, MaxQubits: 8, Solver: "exact", Merge: "exact"}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	c, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := maxcut.Cut{Spins: []int8{1, -1, 1}, Value: 2.125}
+	if err := c.Record("s0/sub0", Record{Cut: cut, Solver: "exact"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Restored() != 1 || c2.Len() != 1 {
+		t.Fatalf("restored %d len %d", c2.Restored(), c2.Len())
+	}
+	rec, ok := c2.Lookup("s0/sub0")
+	if !ok || rec.Cut.Value != 2.125 || rec.Solver != "exact" {
+		t.Fatalf("lookup %+v ok=%v", rec, ok)
+	}
+	if len(rec.Cut.Spins) != 3 || rec.Cut.Spins[1] != -1 {
+		t.Fatalf("spins %v", rec.Cut.Spins)
+	}
+}
+
+func TestCheckpointExactFloatRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.ckpt")
+	c, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An awkward non-representable decimal must round-trip bit-exactly.
+	v := 0.1 + 0.2 + 1.0/3.0
+	if err := c.Record("k", Record{Cut: maxcut.Cut{Spins: []int8{1}, Value: v}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rec, ok := c2.Lookup("k")
+	if !ok || rec.Cut.Value != v {
+		t.Fatalf("value %v != %v", rec.Cut.Value, v)
+	}
+}
+
+func TestCheckpointHeaderMismatchRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.ckpt")
+	c, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record("k", Record{Cut: maxcut.Cut{Spins: []int8{1}, Value: 1}})
+	c.Close()
+
+	other := testHeader()
+	other.Seed = 99
+	c2, err := OpenCheckpoint(path, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Restored() != 0 {
+		t.Fatalf("mismatched header restored %d entries", c2.Restored())
+	}
+	if _, ok := c2.Lookup("k"); ok {
+		t.Fatal("stale entry survived header mismatch")
+	}
+}
+
+func TestCheckpointTornTrailingLineSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.ckpt")
+	c, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record("good", Record{Cut: maxcut.Cut{Spins: []int8{1, -1}, Value: 3}})
+	c.Close()
+	// Simulate a kill mid-append: a torn partial JSON line at the end.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn","spins":"+-`)
+	f.Close()
+
+	c2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Restored() != 1 {
+		t.Fatalf("restored %d, want the 1 intact entry", c2.Restored())
+	}
+	if _, ok := c2.Lookup("torn"); ok {
+		t.Fatal("torn entry restored")
+	}
+	// Appending after recovery still works and the file stays parseable.
+	if err := c2.Record("next", Record{Cut: maxcut.Cut{Spins: []int8{-1}, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	c3, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	// The torn fragment was truncated at reopen, so both the intact
+	// entry and the post-recovery append must survive.
+	if _, ok := c3.Lookup("good"); !ok {
+		t.Fatal("intact entry lost after torn-line append")
+	}
+	if _, ok := c3.Lookup("next"); !ok {
+		t.Fatal("post-recovery append lost")
+	}
+	if c3.Restored() != 2 {
+		t.Fatalf("restored %d want 2", c3.Restored())
+	}
+}
+
+func TestCheckpointNewlinelessTailNotSilentlyDropped(t *testing.T) {
+	// A record is durable only once its newline is on disk. A tail
+	// that is complete JSON but lacks the '\n' (kill cut exactly at
+	// the newline) must be treated as torn CONSISTENTLY: not loaded
+	// into memory while deleted from disk — that would let the dup
+	// guard skip re-persisting it and lose it on the next resume.
+	path := filepath.Join(t.TempDir(), "nl.ckpt")
+	c, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record("good", Record{Cut: maxcut.Cut{Spins: []int8{1}, Value: 1}})
+	c.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a complete entry WITHOUT its trailing newline.
+	torn := append(data, []byte(`{"key":"tail","spins":"+","value":2}`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Lookup("tail"); ok {
+		t.Fatal("newline-less tail loaded despite not being durable")
+	}
+	// Recording it again must actually persist it.
+	if err := c2.Record("tail", Record{Cut: maxcut.Cut{Spins: []int8{-1}, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	c3, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if _, ok := c3.Lookup("tail"); !ok {
+		t.Fatal("re-recorded tail entry lost — memory/disk diverged")
+	}
+	if _, ok := c3.Lookup("good"); !ok {
+		t.Fatal("intact entry lost")
+	}
+}
+
+func TestCheckpointHeaderWithoutNewlineRestarts(t *testing.T) {
+	// Worst torn case: only the header, no newline. It is not durable,
+	// so the store must restart cleanly rather than truncate to zero
+	// and leave an unparseable file.
+	path := filepath.Join(t.TempDir(), "hnl.ckpt")
+	hdr := `{"version":1,"graph":"abc123","seed":7,"maxQubits":8,"solver":"exact","merge":"exact"}`
+	if err := os.WriteFile(path, []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("k", Record{Cut: maxcut.Cut{Spins: []int8{1}, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, ok := c2.Lookup("k"); !ok {
+		t.Fatal("entry recorded after torn-header restart was lost")
+	}
+}
+
+func TestCheckpointDuplicateRecordIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.ckpt")
+	c, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cut := maxcut.Cut{Spins: []int8{1}, Value: 1}
+	c.Record("k", Record{Cut: cut})
+	c.Record("k", Record{Cut: maxcut.Cut{Spins: []int8{-1}, Value: 9}})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), `"key":"k"`); n != 1 {
+		t.Fatalf("duplicate key written %d times", n)
+	}
+	rec, _ := c.Lookup("k")
+	if rec.Cut.Value != 1 {
+		t.Fatal("duplicate overwrote first record")
+	}
+}
+
+func TestSpinsEncoding(t *testing.T) {
+	spins := []int8{1, -1, -1, 1}
+	enc := encodeSpins(spins)
+	if enc != "+--+" {
+		t.Fatalf("encode %q", enc)
+	}
+	dec, ok := decodeSpins(enc)
+	if !ok || len(dec) != 4 || dec[0] != 1 || dec[1] != -1 {
+		t.Fatalf("decode %v ok=%v", dec, ok)
+	}
+	if _, ok := decodeSpins("+x-"); ok {
+		t.Fatal("bad spin char accepted")
+	}
+}

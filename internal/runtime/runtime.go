@@ -1,0 +1,572 @@
+// Package runtime executes QAOA² as an explicit asynchronous task
+// graph — the real counterpart of the virtual-time schedule simulated
+// by internal/hpc (paper Fig. 2). A solve unfolds into a DAG of
+// partition, sub-solve, merge-build, merge-solve and stitch tasks; a
+// fixed worker pool (Options.Parallelism, the pool of quantum devices
+// and classical nodes) runs ready tasks as dependencies drain, streams
+// every completed sub-report to the caller, and appends completed
+// solves to an on-disk Checkpoint so an interrupted run resumes
+// without re-solving finished sub-graphs.
+//
+// The computation tree is a function of (graph, seed, solver config)
+// only — per-task randomness derives from the task's position, never
+// from scheduling — so the runtime returns bit-identical results to
+// the synchronous qaoa2.Solve recursion at every parallelism, and
+// checkpoint entries are transferable between processes.
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/partition"
+	"qaoa2/internal/rng"
+)
+
+// SubSolver produces a cut for one sub-graph. It is structurally
+// identical to qaoa2.SubSolver, so every solver of that package
+// satisfies it without adaptation (the import must point this way
+// round: qaoa2 depends on runtime).
+type SubSolver interface {
+	Name() string
+	SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error)
+}
+
+// Options configures Solve. Solver and MergeSolver are required — the
+// qaoa2 facade fills its defaults before delegating here.
+type Options struct {
+	// MaxQubits is the sub-graph node cap (default 16).
+	MaxQubits int
+	// Solver handles first-level sub-graphs.
+	Solver SubSolver
+	// MergeSolver handles merge graphs on every level.
+	MergeSolver SubSolver
+	// Parallelism is the worker-pool size — the real admission
+	// control: at most this many tasks, in particular concurrent
+	// sub-graph solves, run at once (default GOMAXPROCS).
+	Parallelism int
+	// Partition overrides the first-level graph division.
+	Partition [][]int
+	// Seed derives every task's deterministic random stream.
+	Seed uint64
+	// Checkpoint, when set, is consulted before every solve task and
+	// appended to after; the caller owns open/close.
+	Checkpoint *Checkpoint
+	// CheckpointPath is a convenience alternative: Solve opens (or
+	// resumes) the checkpoint at this path and closes it on return.
+	// Ignored when Checkpoint is set.
+	CheckpointPath string
+	// ConfigTag fingerprints solver configuration that is invisible to
+	// Solver.Name() (execution backend, restarts). It is folded into
+	// the checkpoint header so stale checkpoints never resume.
+	ConfigTag string
+	// OnEvent, when set, receives one event per completed task, in
+	// completion order. Calls are serialized.
+	OnEvent func(Event)
+	// Interrupt aborts the run when closed: no new task starts, and
+	// Solve returns ErrInterrupted once in-flight tasks finish. The
+	// checkpoint keeps everything completed before the abort.
+	Interrupt <-chan struct{}
+}
+
+// Event reports one completed task.
+type Event struct {
+	// Task is the stable task id, also the checkpoint key for solve
+	// tasks (e.g. "s0/sub3", "s2/merge").
+	Task string
+	// Kind is the task kind ("partition", "sub-solve", "merge-build",
+	// "merge-solve", "stitch").
+	Kind string
+	// Stage is the divide-and-conquer level (0 = original graph).
+	Stage int
+	// Index is the sub-graph index within the stage; -1 otherwise.
+	Index int
+	// Nodes/Edges size the task's graph.
+	Nodes, Edges int
+	// Value is the cut value for solve tasks.
+	Value float64
+	// Solver names the solver for solve tasks.
+	Solver string
+	// Restored marks results served from the checkpoint.
+	Restored bool
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Tasks counts DAG tasks executed.
+	Tasks int
+	// SubSolves and MergeSolves count actual solver invocations;
+	// Restored counts solves served from the checkpoint instead.
+	SubSolves, MergeSolves, Restored int
+	// Stages is the number of divide levels unfolded (1 for a
+	// single-partition run, 0 for a direct solve).
+	Stages int
+}
+
+// SubReport records one solved first-level sub-graph (mirrors
+// qaoa2.SubReport).
+type SubReport struct {
+	Nodes  int
+	Edges  int
+	Value  float64
+	Solver string
+}
+
+// Result reports a runtime QAOA² run. Cut, Levels, SubGraphs,
+// SubReports, IntraCut and CrossCut carry exactly the values the
+// synchronous qaoa2.Solve returns for the same inputs.
+type Result struct {
+	Cut                maxcut.Cut
+	Levels             int
+	SubGraphs          int
+	SubReports         []SubReport
+	IntraCut, CrossCut float64
+	Stats              Stats
+}
+
+// stage is one divide level: stage 0 is the original graph, stage k+1
+// the signed contraction of stage k.
+type stage struct {
+	index  int
+	g      *graph.Graph
+	seed   uint64
+	solver SubSolver
+
+	parts   [][]int
+	subs    []*graph.Graph
+	cuts    []maxcut.Cut
+	reports []SubReport
+	groupOf []int
+	merged  *graph.Graph
+	// flips orients each part: set by the deepest stage's merge solve,
+	// then propagated downward by the stitch task.
+	flips []int8
+}
+
+// solveState carries one run's shared state. Cross-task visibility is
+// ordered by the executor's dependency edges; mu guards only the
+// append-side of stages, stats and the event stream.
+type solveState struct {
+	opts Options
+	exec *executor
+	ckpt *Checkpoint
+
+	mu     sync.Mutex
+	stages []*stage
+	stats  Stats
+	result *Result
+}
+
+// Solve runs the QAOA² divide-and-conquer on g through the task-graph
+// runtime.
+func Solve(g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Solver == nil || opts.MergeSolver == nil {
+		return nil, fmt.Errorf("runtime: Solver and MergeSolver are required")
+	}
+	if opts.MaxQubits <= 0 {
+		opts.MaxQubits = 16
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	if n == 0 {
+		return &Result{Cut: maxcut.Cut{Spins: []int8{}, Value: 0}}, nil
+	}
+
+	ckpt := opts.Checkpoint
+	if ckpt == nil && opts.CheckpointPath != "" {
+		var err error
+		ckpt, err = OpenCheckpoint(opts.CheckpointPath, Header{
+			Graph:     GraphFingerprint(g),
+			Seed:      opts.Seed,
+			MaxQubits: opts.MaxQubits,
+			Solver:    opts.Solver.Name(),
+			Merge:     opts.MergeSolver.Name(),
+			Config:    opts.ConfigTag + partitionTag(opts.Partition),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+
+	st := &solveState{opts: opts, ckpt: ckpt}
+	st.exec = newExecutor(opts.Interrupt)
+
+	if n <= opts.MaxQubits && opts.Partition == nil {
+		st.exec.add(&task{id: "s0/direct", kind: kindSubSolve, run: func() error {
+			return st.runDirect(g)
+		}})
+	} else {
+		if err := validatePartition(opts.Partition, opts.MaxQubits); err != nil {
+			return nil, err
+		}
+		st.addStage(g, opts.Seed, opts.Solver, opts.Partition)
+	}
+	st.exec.start(opts.Parallelism)
+	if err := st.exec.wait(); err != nil {
+		return nil, err
+	}
+	if st.result == nil {
+		return nil, fmt.Errorf("runtime: task graph drained without a result")
+	}
+	st.result.Stats = st.stats
+	return st.result, nil
+}
+
+// validatePartition mirrors the synchronous path's explicit-partition
+// checks.
+func validatePartition(parts [][]int, maxQubits int) error {
+	for i, p := range parts {
+		if len(p) == 0 {
+			return fmt.Errorf("runtime: explicit partition part %d is empty", i)
+		}
+		if len(p) > maxQubits {
+			return fmt.Errorf("runtime: explicit partition part %d has %d nodes, budget %d",
+				i, len(p), maxQubits)
+		}
+	}
+	return nil
+}
+
+// partitionTag fingerprints an explicit partition for the checkpoint
+// header ("" when the deterministic partitioner is used).
+func partitionTag(parts [][]int) string {
+	if parts == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(len(parts)))
+	for _, p := range parts {
+		put(uint64(len(p)))
+		for _, v := range p {
+			put(uint64(v))
+		}
+	}
+	return fmt.Sprintf("|parts:%016x", h.Sum64())
+}
+
+// runDirect handles a graph that fits the device: a single solve task.
+func (st *solveState) runDirect(g *graph.Graph) error {
+	cut, solverName, restored, err := st.solveTask("s0/direct", g, st.opts.Solver, rng.New(st.opts.Seed))
+	if err != nil {
+		return err
+	}
+	rep := SubReport{Nodes: g.N(), Edges: g.M(), Value: cut.Value, Solver: solverName}
+	st.mu.Lock()
+	st.stats.Tasks++
+	if restored {
+		st.stats.Restored++
+	} else {
+		st.stats.SubSolves++
+	}
+	st.result = &Result{
+		Cut:        cut,
+		SubGraphs:  1,
+		SubReports: []SubReport{rep},
+		IntraCut:   cut.Value,
+	}
+	st.mu.Unlock()
+	st.emit(Event{Task: "s0/direct", Kind: kindSubSolve.String(), Stage: 0, Index: 0,
+		Nodes: g.N(), Edges: g.M(), Value: cut.Value, Solver: solverName, Restored: restored})
+	return nil
+}
+
+// solveTask runs one checkpointable solve: checkpoint lookup first,
+// solver otherwise, record after.
+func (st *solveState) solveTask(key string, g *graph.Graph, solver SubSolver, r *rng.Rand) (maxcut.Cut, string, bool, error) {
+	if st.ckpt != nil {
+		if rec, ok := st.ckpt.Lookup(key); ok && len(rec.Cut.Spins) == g.N() {
+			name := rec.Solver
+			if name == "" {
+				name = solver.Name()
+			}
+			return rec.Cut, name, true, nil
+		}
+	}
+	cut, err := solver.SolveSub(g, r)
+	if err != nil {
+		return maxcut.Cut{}, "", false, err
+	}
+	if st.ckpt != nil {
+		if err := st.ckpt.Record(key, Record{Cut: cut, Solver: solver.Name()}); err != nil {
+			return maxcut.Cut{}, "", false, err
+		}
+	}
+	return cut, solver.Name(), false, nil
+}
+
+// addStage appends a new divide level and schedules its partition
+// task. Safe to call before the pool starts and from inside tasks.
+func (st *solveState) addStage(g *graph.Graph, seed uint64, solver SubSolver, explicit [][]int) {
+	st.mu.Lock()
+	sg := &stage{index: len(st.stages), g: g, seed: seed, solver: solver}
+	st.stages = append(st.stages, sg)
+	st.stats.Stages++
+	st.mu.Unlock()
+	st.exec.add(&task{
+		id:   fmt.Sprintf("s%d/partition", sg.index),
+		kind: kindPartition,
+		run:  func() error { return st.runPartition(sg, explicit) },
+	})
+}
+
+// runPartition divides a stage's graph and schedules one sub-solve
+// task per part plus the merge-build barrier behind them.
+func (st *solveState) runPartition(sg *stage, explicit [][]int) error {
+	parts := explicit
+	if parts == nil {
+		var err error
+		parts, err = partition.SizeCapped(sg.g, st.opts.MaxQubits)
+		if err != nil {
+			return err
+		}
+	}
+	sg.parts = parts
+	sg.subs = make([]*graph.Graph, len(parts))
+	sg.cuts = make([]maxcut.Cut, len(parts))
+	sg.reports = make([]SubReport, len(parts))
+
+	groupOf := make([]int, sg.g.N())
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for i, part := range parts {
+		for _, v := range part {
+			if v < 0 || v >= sg.g.N() {
+				return fmt.Errorf("runtime: stage %d part %d references node %d outside graph",
+					sg.index, i, v)
+			}
+			if groupOf[v] != -1 {
+				return fmt.Errorf("runtime: stage %d node %d appears in two parts", sg.index, v)
+			}
+			groupOf[v] = i
+		}
+	}
+	for v, grp := range groupOf {
+		if grp == -1 {
+			return fmt.Errorf("runtime: stage %d node %d not covered by any part", sg.index, v)
+		}
+	}
+	sg.groupOf = groupOf
+
+	subTasks := make([]*task, len(parts))
+	for i := range parts {
+		i := i
+		subTasks[i] = &task{
+			id:   fmt.Sprintf("s%d/sub%d", sg.index, i),
+			kind: kindSubSolve,
+			run:  func() error { return st.runSub(sg, i) },
+		}
+	}
+	mergeT := &task{
+		id:   fmt.Sprintf("s%d/merge-build", sg.index),
+		kind: kindMergeBuild,
+		run:  func() error { return st.runMergeBuild(sg) },
+	}
+	// Register the barrier before its dependencies so the executor
+	// never observes a drained graph between sub-task completions.
+	st.exec.add(mergeT, subTasks...)
+	for _, t := range subTasks {
+		st.exec.add(t)
+	}
+	st.mu.Lock()
+	st.stats.Tasks++
+	st.mu.Unlock()
+	st.emit(Event{Task: fmt.Sprintf("s%d/partition", sg.index), Kind: kindPartition.String(),
+		Stage: sg.index, Index: -1, Nodes: sg.g.N(), Edges: sg.g.M()})
+	return nil
+}
+
+// runSub solves one sub-graph of a stage.
+func (st *solveState) runSub(sg *stage, i int) error {
+	sub, _, err := sg.g.InducedSubgraph(sg.parts[i])
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("s%d/sub%d", sg.index, i)
+	cut, solverName, restored, err := st.solveTask(key, sub, sg.solver,
+		rng.New(sg.seed).Split(uint64(i)+0x9e37))
+	if err != nil {
+		return fmt.Errorf("runtime: stage %d sub-graph %d: %w", sg.index, i, err)
+	}
+	if len(cut.Spins) != len(sg.parts[i]) {
+		return fmt.Errorf("runtime: stage %d part %d has %d nodes but cut has %d spins",
+			sg.index, i, len(sg.parts[i]), len(cut.Spins))
+	}
+	sg.subs[i] = sub
+	sg.cuts[i] = cut
+	sg.reports[i] = SubReport{Nodes: sub.N(), Edges: sub.M(), Value: cut.Value, Solver: solverName}
+	st.mu.Lock()
+	st.stats.Tasks++
+	if restored {
+		st.stats.Restored++
+	} else {
+		st.stats.SubSolves++
+	}
+	st.mu.Unlock()
+	st.emit(Event{Task: key, Kind: kindSubSolve.String(), Stage: sg.index, Index: i,
+		Nodes: sub.N(), Edges: sub.M(), Value: cut.Value, Solver: solverName, Restored: restored})
+	return nil
+}
+
+// runMergeBuild builds the signed contracted graph of a stage and
+// decides how to orient it: trivially (edgeless), by a merge solve
+// (fits the device), by local search (contraction stalled) or by
+// unfolding the next stage.
+func (st *solveState) runMergeBuild(sg *stage) error {
+	spins := make([]int8, sg.g.N())
+	for i, part := range sg.parts {
+		for k, orig := range part {
+			spins[orig] = sg.cuts[i].Spins[k]
+		}
+	}
+	merged, err := sg.g.Contract(sg.groupOf, len(sg.parts), func(e graph.Edge) float64 {
+		if spins[e.I] != spins[e.J] {
+			return -e.W
+		}
+		return e.W
+	})
+	if err != nil {
+		return err
+	}
+	sg.merged = merged
+	st.mu.Lock()
+	st.stats.Tasks++
+	st.mu.Unlock()
+	st.emit(Event{Task: fmt.Sprintf("s%d/merge-build", sg.index), Kind: kindMergeBuild.String(),
+		Stage: sg.index, Index: -1, Nodes: merged.N(), Edges: merged.M()})
+
+	switch {
+	case merged.M() == 0:
+		// No cross weight to gain: keep every part's orientation.
+		// (Also the recursion guard: an edgeless merge graph would
+		// never contract further.)
+		sg.flips = make([]int8, merged.N())
+		for i := range sg.flips {
+			sg.flips[i] = 1
+		}
+		st.scheduleStitch(sg.index)
+	case merged.N() <= st.opts.MaxQubits:
+		st.exec.add(&task{
+			id:   fmt.Sprintf("s%d/merge", sg.index),
+			kind: kindMergeSolve,
+			run:  func() error { return st.runMergeSolve(sg) },
+		})
+	case merged.N() >= sg.g.N():
+		// Contraction made no progress (all-singleton partition):
+		// recursing would loop forever. Orient the merge nodes with
+		// the deterministic 1-exchange local search instead.
+		cut := maxcut.OneExchange(merged, rng.New(sg.seed).Split(0x1e4c))
+		sg.flips = cut.Spins
+		st.scheduleStitch(sg.index)
+	default:
+		st.addStage(merged, sg.seed^0xabcd, st.opts.MergeSolver, nil)
+	}
+	return nil
+}
+
+// runMergeSolve orients the deepest stage's merge graph.
+func (st *solveState) runMergeSolve(sg *stage) error {
+	key := fmt.Sprintf("s%d/merge", sg.index)
+	cut, solverName, restored, err := st.solveTask(key, sg.merged, st.opts.MergeSolver,
+		rng.New(sg.seed).Split(0x51ed))
+	if err != nil {
+		return fmt.Errorf("runtime: stage %d merge: %w", sg.index, err)
+	}
+	if len(cut.Spins) != sg.merged.N() {
+		return fmt.Errorf("runtime: stage %d merge cut has %d spins for %d nodes",
+			sg.index, len(cut.Spins), sg.merged.N())
+	}
+	sg.flips = cut.Spins
+	st.mu.Lock()
+	st.stats.Tasks++
+	if restored {
+		st.stats.Restored++
+	} else {
+		st.stats.MergeSolves++
+	}
+	st.mu.Unlock()
+	st.emit(Event{Task: key, Kind: kindMergeSolve.String(), Stage: sg.index, Index: -1,
+		Nodes: sg.merged.N(), Edges: sg.merged.M(), Value: cut.Value, Solver: solverName,
+		Restored: restored})
+	st.scheduleStitch(sg.index)
+	return nil
+}
+
+// scheduleStitch adds the final task folding flips down from the
+// deepest stage into the global assignment.
+func (st *solveState) scheduleStitch(deepest int) {
+	st.exec.add(&task{
+		id:   "stitch",
+		kind: kindStitch,
+		run:  func() error { return st.runStitch(deepest) },
+	})
+}
+
+// runStitch resolves the stage chain bottom-up: a stage's stitched
+// spins are exactly the flip orientation of the stage below it.
+func (st *solveState) runStitch(deepest int) error {
+	var spins []int8
+	for k := deepest; k >= 0; k-- {
+		sg := st.stages[k]
+		spins = make([]int8, sg.g.N())
+		for i, part := range sg.parts {
+			flip := sg.flips[i] < 0
+			for j, orig := range part {
+				s := sg.cuts[i].Spins[j]
+				if flip {
+					s = -s
+				}
+				spins[orig] = s
+			}
+		}
+		if k > 0 {
+			st.stages[k-1].flips = spins
+		}
+	}
+	root := st.stages[0]
+	intra := 0.0
+	for _, e := range root.g.Edges() {
+		if root.groupOf[e.I] == root.groupOf[e.J] && spins[e.I] != spins[e.J] {
+			intra += e.W
+		}
+	}
+	value := root.g.CutValue(spins)
+	st.mu.Lock()
+	st.stats.Tasks++
+	st.result = &Result{
+		Cut:        maxcut.Cut{Spins: spins, Value: value},
+		Levels:     deepest + 1,
+		SubGraphs:  len(root.parts),
+		SubReports: append([]SubReport(nil), root.reports...),
+		IntraCut:   intra,
+		CrossCut:   value - intra,
+	}
+	st.mu.Unlock()
+	st.emit(Event{Task: "stitch", Kind: kindStitch.String(), Stage: 0, Index: -1,
+		Nodes: root.g.N(), Edges: root.g.M(), Value: value})
+	return nil
+}
+
+// emit streams an event; calls are serialized by st.mu.
+func (st *solveState) emit(ev Event) {
+	if st.opts.OnEvent == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.opts.OnEvent(ev)
+}

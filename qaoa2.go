@@ -36,6 +36,7 @@ import (
 	"qaoa2/internal/qsim"
 	"qaoa2/internal/rng"
 	"qaoa2/internal/rqaoa"
+	"qaoa2/internal/runtime"
 	"qaoa2/internal/sdp"
 	"qaoa2/internal/synth"
 )
@@ -163,6 +164,8 @@ type (
 	Options = qaoa2.Options
 	// Result reports a QAOA² run.
 	Result = qaoa2.Result
+	// SubReport records one solved first-level sub-graph.
+	SubReport = qaoa2.SubReport
 	// SubSolver is the pluggable per-sub-graph solver interface.
 	SubSolver = qaoa2.SubSolver
 	// QAOASolver solves sub-graphs with simulated QAOA.
@@ -177,10 +180,18 @@ type (
 	AnnealSolver = qaoa2.AnnealSolver
 	// ExactSolver brute-forces sub-graphs (tests, small merges).
 	ExactSolver = qaoa2.ExactSolver
+	// OneExchangeSolver is the 1-swap local-search baseline solver.
+	OneExchangeSolver = qaoa2.OneExchangeSolver
 )
 
 // Solve runs the QAOA² divide-and-conquer MaxCut solver.
 func Solve(g *Graph, opts Options) (*Result, error) { return qaoa2.Solve(g, opts) }
+
+// SummarizeSubReports aggregates first-level sub-reports per solver
+// for logs.
+func SummarizeSubReports(reports []SubReport) string {
+	return qaoa2.SummarizeSubReports(reports)
+}
 
 // RQAOA extension.
 type (
@@ -195,6 +206,39 @@ type (
 func SolveRQAOA(g *Graph, opts RQAOAOptions, r *Rand) (*RQAOAResult, error) {
 	return rqaoa.Solve(g, opts, r)
 }
+
+// Task-graph runtime (the asynchronous execution engine behind
+// Options.Runtime / Options.CheckpointPath; see DESIGN.md). The
+// runtime unfolds a QAOA² solve into an explicit DAG of partition,
+// sub-solve, merge and stitch tasks run by a bounded worker pool,
+// streams completed sub-reports, and checkpoints completed solves so
+// interrupted runs resume.
+type (
+	// RuntimeEvent is one completed runtime task (streamed through
+	// Options.OnRuntimeEvent).
+	RuntimeEvent = runtime.Event
+	// Checkpoint is the crash-tolerant on-disk store of completed
+	// solves (also exported as hpc.Checkpoint).
+	Checkpoint = runtime.Checkpoint
+	// CheckpointHeader identifies the run a Checkpoint belongs to.
+	CheckpointHeader = runtime.Header
+)
+
+// ErrInterrupted is returned by Solve when Options.Interrupt fires
+// before the task graph drains; completed tasks are already in the
+// checkpoint, so a subsequent Solve resumes.
+var ErrInterrupted = runtime.ErrInterrupted
+
+// OpenCheckpoint opens (or resumes) the checkpoint at path. Most
+// callers set Options.CheckpointPath instead and let Solve manage the
+// store; open it directly to inspect restored entries or share one
+// store across drivers.
+func OpenCheckpoint(path string, h CheckpointHeader) (*Checkpoint, error) {
+	return runtime.OpenCheckpoint(path, h)
+}
+
+// GraphFingerprint hashes a graph instance for CheckpointHeader.Graph.
+func GraphFingerprint(g *Graph) string { return runtime.GraphFingerprint(g) }
 
 // HPC workflow front end.
 type (

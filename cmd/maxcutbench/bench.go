@@ -64,8 +64,9 @@ type BenchReport struct {
 }
 
 // runJSONBench measures every benchConfig and writes the report; it
-// returns the written file name.
-func runJSONBench() (string, error) {
+// returns the report and the written file name (the -compare gate
+// reuses the report).
+func runJSONBench() (BenchReport, string, error) {
 	stamp := time.Now().UTC()
 	report := BenchReport{
 		Timestamp: stamp.Format(time.RFC3339),
@@ -81,12 +82,12 @@ func runJSONBench() (string, error) {
 	for _, cfg := range benchConfigs {
 		be, err := root.BackendByName(cfg.backend)
 		if err != nil {
-			return "", err
+			return report, "", err
 		}
 		g := root.ErdosRenyi(cfg.qubits, 0.5, root.Unweighted, root.NewRand(99))
 		ans, err := be.Prepare(g, root.BackendConfig{Layers: cfg.layers})
 		if err != nil {
-			return "", err
+			return report, "", err
 		}
 		gammas, betas := qaoa.InitialParameters(cfg.layers)
 		res := testing.Benchmark(func(b *testing.B) {
@@ -111,9 +112,9 @@ func runJSONBench() (string, error) {
 	name := fmt.Sprintf("BENCH_%s.json", stamp.Format("20060102_150405"))
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		return "", err
+		return report, "", err
 	}
-	return name, os.WriteFile(name, append(data, '\n'), 0o644)
+	return report, name, os.WriteFile(name, append(data, '\n'), 0o644)
 }
 
 // cpuModel best-effort reads the CPU model line (Linux); empty

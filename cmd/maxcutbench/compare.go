@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The CI benchmark-regression gate: `maxcutbench -json -compare
+// BENCH_baseline.json -tolerance 20` measures the tracked
+// backend/engine configurations, writes the fresh BENCH_<stamp>.json,
+// and fails (exit 1) when any configuration present in the baseline
+// regressed by more than the tolerance in ns/op. The committed
+// baseline starts the perf trajectory; refresh it deliberately (same
+// machine class as CI) whenever a PR changes kernel performance on
+// purpose.
+
+// comparison is the verdict for one benchmark configuration.
+type comparison struct {
+	key        string
+	baseNs     float64
+	freshNs    float64
+	deltaPct   float64
+	regression bool
+}
+
+// configKey identifies a benchmark configuration across reports.
+func configKey(r BenchResult) string {
+	return fmt.Sprintf("%s/%dq/p%d", r.Backend, r.Qubits, r.Layers)
+}
+
+// loadBaseline reads a committed BENCH_*.json report.
+func loadBaseline(path string) (BenchReport, error) {
+	var rep BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("baseline %s has no results", path)
+	}
+	return rep, nil
+}
+
+// compareReports checks every baseline configuration against the
+// fresh run. A configuration missing from the fresh run counts as a
+// regression (the gate must not silently narrow). New configurations
+// in the fresh run are reported but never fail.
+func compareReports(baseline, fresh BenchReport, tolerancePct float64) ([]comparison, error) {
+	if tolerancePct <= 0 {
+		return nil, fmt.Errorf("tolerance must be positive, got %g%%", tolerancePct)
+	}
+	freshBy := make(map[string]BenchResult)
+	for _, r := range fresh.Results {
+		freshBy[configKey(r)] = r
+	}
+	var out []comparison
+	for _, base := range baseline.Results {
+		key := configKey(base)
+		f, ok := freshBy[key]
+		if !ok {
+			out = append(out, comparison{key: key, baseNs: base.NsPerOp, freshNs: -1, regression: true})
+			continue
+		}
+		delta := (f.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		out = append(out, comparison{
+			key:        key,
+			baseNs:     base.NsPerOp,
+			freshNs:    f.NsPerOp,
+			deltaPct:   delta,
+			regression: delta > tolerancePct,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out, nil
+}
+
+// machineWarning renders a caution line when the baseline was
+// measured on different hardware: absolute ns/op comparisons across
+// machine classes can exceed the tolerance in either direction, so
+// the baseline should be refreshed from a run on the gate's own
+// hardware (CI uploads every fresh BENCH_<stamp>.json as an artifact
+// for exactly this).
+func machineWarning(baseline, fresh BenchMachine) string {
+	if sameMachineClass(baseline, fresh) {
+		return ""
+	}
+	return fmt.Sprintf("WARNING: baseline machine (%s, %d CPU, %s) differs from this machine (%s, %d CPU, %s); refresh the baseline from this hardware class before trusting the gate\n",
+		baseline.CPUModel, baseline.NumCPU, baseline.GoVersion,
+		fresh.CPUModel, fresh.NumCPU, fresh.GoVersion)
+}
+
+// sameMachineClass compares the hardware-identity fields (Go version
+// alone does not change the class).
+func sameMachineClass(a, b BenchMachine) bool {
+	return a.GoOS == b.GoOS && a.GoArch == b.GoArch &&
+		a.NumCPU == b.NumCPU && a.CPUModel == b.CPUModel
+}
+
+// gateOutcome decides the gate's exit disposition. A configuration
+// missing from the fresh run is machine-independent gate narrowing
+// and always fails. ns/op regressions measured on the baseline's own
+// hardware class fail hard; on foreign hardware an absolute ns/op
+// comparison is meaningless, so those degrade to advisory — the run
+// reports the deltas and tells the operator to re-baseline rather
+// than failing every build on a hardware change. (The fused/dense
+// ratio gate below stays armed on any hardware.)
+func gateOutcome(foreign bool, deltaFailures, missing int) (fail bool, note string) {
+	switch {
+	case missing > 0:
+		return true, fmt.Sprintf("%d baseline configuration(s) missing from the fresh run — the gate must not silently narrow", missing)
+	case deltaFailures == 0:
+		return false, "benchmark gate passed"
+	case foreign:
+		return false, fmt.Sprintf("benchmark gate ADVISORY: %d configuration(s) beyond tolerance, but the baseline is from a different machine class — refresh BENCH_baseline.json from this hardware (CI uploads each run's BENCH_<stamp>.json artifact) to re-arm the gate", deltaFailures)
+	default:
+		return true, fmt.Sprintf("%d configuration(s) regressed beyond tolerance", deltaFailures)
+	}
+}
+
+// fusedDenseMinRatio is the machine-independent floor: the fused
+// backend has been ≥3× faster than the dense gate walk since the
+// backend-layer PR, and both sides of the ratio are measured in the
+// SAME fresh run — so this check gates real kernel regressions even
+// when the absolute baseline comes from foreign hardware (e.g. a
+// heterogeneous CI runner fleet).
+const fusedDenseMinRatio = 3.0
+
+// ratioGate checks the fused-vs-dense ratio on the 16q/p3 acceptance
+// configuration of the fresh run.
+func ratioGate(fresh BenchReport) (ok bool, msg string) {
+	var fused, dense float64
+	for _, r := range fresh.Results {
+		if r.Qubits == 16 && r.Layers == 3 {
+			switch r.Backend {
+			case "fused":
+				fused = r.NsPerOp
+			case "dense":
+				dense = r.NsPerOp
+			}
+		}
+	}
+	if fused <= 0 || dense <= 0 {
+		return false, "ratio gate: fused/dense 16q p3 configurations missing from the fresh run"
+	}
+	ratio := dense / fused
+	if ratio < fusedDenseMinRatio {
+		return false, fmt.Sprintf("ratio gate FAILED: fused is only %.1fx faster than dense (floor %.0fx) — kernel regression, independent of baseline hardware", ratio, fusedDenseMinRatio)
+	}
+	return true, fmt.Sprintf("ratio gate: fused %.1fx faster than dense (floor %.0fx)", ratio, fusedDenseMinRatio)
+}
+
+// countMissing tallies baseline configurations absent from the fresh
+// run (freshNs < 0 in the comparison).
+func countMissing(comps []comparison) int {
+	n := 0
+	for _, c := range comps {
+		if c.freshNs < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// renderComparison formats the gate verdict table and returns the
+// number of regressions.
+func renderComparison(comps []comparison, tolerancePct float64) (string, int) {
+	var b strings.Builder
+	failures := 0
+	fmt.Fprintf(&b, "benchmark regression gate (tolerance %.0f%% ns/op)\n", tolerancePct)
+	fmt.Fprintf(&b, "%-16s %14s %14s %9s\n", "config", "baseline ns/op", "fresh ns/op", "delta")
+	for _, c := range comps {
+		verdict := "ok"
+		if c.regression {
+			verdict = "REGRESSION"
+			failures++
+		}
+		if c.freshNs < 0 {
+			fmt.Fprintf(&b, "%-16s %14.0f %14s %9s  %s (missing from fresh run)\n",
+				c.key, c.baseNs, "-", "-", verdict)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %14.0f %14.0f %+8.1f%%  %s\n",
+			c.key, c.baseNs, c.freshNs, c.deltaPct, verdict)
+	}
+	return b.String(), failures
+}

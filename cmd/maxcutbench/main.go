@@ -9,6 +9,8 @@
 //	maxcutbench            # laptop-scale node counts
 //	maxcutbench -full      # paper-scale (500..2500 nodes)
 //	maxcutbench -json      # backend microbenchmarks → BENCH_<stamp>.json
+//	maxcutbench -json -compare BENCH_baseline.json -tolerance 20
+//	                       # CI regression gate: exit 1 on >20% ns/op slowdown
 package main
 
 import (
@@ -23,18 +25,47 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("maxcutbench: ")
 	var (
-		full    = flag.Bool("full", false, "run at paper scale (nodes 500-2500, 16-qubit sub-graphs)")
-		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
-		jsonOut = flag.Bool("json", false, "run the backend microbenchmarks and write machine-readable results to BENCH_<stamp>.json instead of the Fig. 4 table")
+		full      = flag.Bool("full", false, "run at paper scale (nodes 500-2500, 16-qubit sub-graphs)")
+		seed      = flag.Uint64("seed", 0, "override the experiment seed (0 = config default)")
+		jsonOut   = flag.Bool("json", false, "run the backend microbenchmarks and write machine-readable results to BENCH_<stamp>.json instead of the Fig. 4 table")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json to gate against (implies -json); exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 20, "allowed ns/op slowdown in percent for -compare")
 	)
 	flag.Parse()
 
-	if *jsonOut {
-		name, err := runJSONBench()
+	if *jsonOut || *compare != "" {
+		fresh, name, err := runJSONBench()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", name)
+		if *compare != "" {
+			baseline, err := loadBaseline(*compare)
+			if err != nil {
+				log.Fatal(err)
+			}
+			comps, err := compareReports(baseline, fresh, *tolerance)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if warn := machineWarning(baseline.Machine, fresh.Machine); warn != "" {
+				fmt.Print(warn)
+			}
+			table, failures := renderComparison(comps, *tolerance)
+			fmt.Print(table)
+			ratioOK, ratioMsg := ratioGate(fresh)
+			fmt.Println(ratioMsg)
+			missing := countMissing(comps)
+			foreign := !sameMachineClass(baseline.Machine, fresh.Machine)
+			fail, note := gateOutcome(foreign, failures-missing, missing)
+			if !ratioOK {
+				log.Fatal(ratioMsg)
+			}
+			if fail {
+				log.Fatal(note)
+			}
+			fmt.Println(note)
+		}
 		return
 	}
 

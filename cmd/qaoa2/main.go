@@ -13,7 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	root "qaoa2"
@@ -23,34 +23,44 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("qaoa2: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main with its exits and streams made testable. Usage errors
+// (bad flags, unknown solver/backend names) report to stderr and
+// return 2; operational failures (unreadable instance, failed solve)
+// return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qaoa2", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		nodes     = flag.Int("nodes", 120, "node count for generated Erdős–Rényi instances")
-		prob      = flag.Float64("prob", 0.1, "edge probability for generated instances")
-		weighted  = flag.Bool("weighted", false, "draw edge weights uniformly from [0,1)")
-		inFile    = flag.String("in", "", "read the instance from a file instead of generating (format: 'n m' header, 'i j w' lines)")
-		maxQubits = flag.Int("maxqubits", 16, "qubit budget: maximum sub-graph size")
-		backendN  = flag.String("backend", "", "QAOA circuit-execution backend: fused|dense|noisy (default: fused)")
-		solver    = flag.String("solver", "best", "sub-graph solver: qaoa|gw|best|anneal|random|one-exchange")
-		merge     = flag.String("merge", "gw", "merge-graph solver: qaoa|gw|exact")
-		layers    = flag.Int("layers", 3, "QAOA ansatz layers p")
-		iters     = flag.Int("iters", 0, "optimizer iteration budget (0 = paper's p-dependent default)")
-		rhobeg    = flag.Float64("rhobeg", 0.5, "COBYLA initial trust radius")
-		shots     = flag.Int("shots", 0, "QAOA objective shots (0 = exact expectation, 4096 = paper)")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		nodes     = fs.Int("nodes", 120, "node count for generated Erdős–Rényi instances")
+		prob      = fs.Float64("prob", 0.1, "edge probability for generated instances")
+		weighted  = fs.Bool("weighted", false, "draw edge weights uniformly from [0,1)")
+		inFile    = fs.String("in", "", "read the instance from a file instead of generating (format: 'n m' header, 'i j w' lines)")
+		maxQubits = fs.Int("maxqubits", 16, "qubit budget: maximum sub-graph size")
+		backendN  = fs.String("backend", "", "QAOA circuit-execution backend: fused|dense|noisy (default: fused)")
+		solver    = fs.String("solver", "best", "sub-graph solver: qaoa|gw|best|anneal|random|one-exchange")
+		merge     = fs.String("merge", "gw", "merge-graph solver: qaoa|gw|exact")
+		layers    = fs.Int("layers", 3, "QAOA ansatz layers p")
+		iters     = fs.Int("iters", 0, "optimizer iteration budget (0 = paper's p-dependent default)")
+		rhobeg    = fs.Float64("rhobeg", 0.5, "COBYLA initial trust radius")
+		shots     = fs.Int("shots", 0, "QAOA objective shots (0 = exact expectation, 4096 = paper)")
+		seed      = fs.Uint64("seed", 1, "random seed")
 	)
-	flag.Parse()
-
-	g, err := loadGraph(*inFile, *nodes, *prob, *weighted, *seed)
-	if err != nil {
-		log.Fatal(err)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "qaoa2: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
 	}
 
 	be, err := root.BackendByName(*backendN)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "qaoa2: %v\n", err)
+		return 2
 	}
 
 	qopts := qaoa.Options{
@@ -59,11 +69,19 @@ func main() {
 	}
 	sub, err := pickSolver(*solver, qopts)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "qaoa2: %v\n", err)
+		return 2
 	}
 	mrg, err := pickSolver(*merge, qopts)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "qaoa2: %v\n", err)
+		return 2
+	}
+
+	g, err := loadGraph(*inFile, *nodes, *prob, *weighted, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "qaoa2: %v\n", err)
+		return 1
 	}
 
 	res, err := root.Solve(g, root.Options{
@@ -74,14 +92,16 @@ func main() {
 		Seed:        *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "qaoa2: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("instance:   %v\n", g)
-	fmt.Printf("solver:     %s (merge: %s), qubit budget %d\n", sub.Name(), mrg.Name(), *maxQubits)
-	fmt.Printf("sub-graphs: %d over %d merge level(s)\n", res.SubGraphs, res.Levels)
-	fmt.Printf("            %s\n", internal.SummarizeSubReports(res.SubReports))
-	fmt.Printf("cut value:  %.6f (intra %.6f + cross %.6f)\n", res.Cut.Value, res.IntraCut, res.CrossCut)
+	fmt.Fprintf(stdout, "instance:   %v\n", g)
+	fmt.Fprintf(stdout, "solver:     %s (merge: %s), qubit budget %d\n", sub.Name(), mrg.Name(), *maxQubits)
+	fmt.Fprintf(stdout, "sub-graphs: %d over %d merge level(s)\n", res.SubGraphs, res.Levels)
+	fmt.Fprintf(stdout, "            %s\n", internal.SummarizeSubReports(res.SubReports))
+	fmt.Fprintf(stdout, "cut value:  %.6f (intra %.6f + cross %.6f)\n", res.Cut.Value, res.IntraCut, res.CrossCut)
+	return 0
 }
 
 func loadGraph(inFile string, nodes int, prob float64, weighted bool, seed uint64) (*root.Graph, error) {
@@ -100,6 +120,10 @@ func loadGraph(inFile string, nodes int, prob float64, weighted bool, seed uint6
 	return root.ErdosRenyi(nodes, prob, w, root.NewRand(seed)), nil
 }
 
+// pickSolver is the CLI-side sibling of serve.ResolveSolvers: it
+// accepts the same names but threads CLI-only knobs (iters, rhobeg,
+// shots, backend). A solver name added to one must be added to the
+// other.
 func pickSolver(name string, qopts qaoa.Options) (root.SubSolver, error) {
 	switch name {
 	case "qaoa":

@@ -3,10 +3,67 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"qaoa2/internal/qaoa"
 )
+
+// TestUsageErrorsExitTwo pins the CLI contract: usage errors report to
+// stderr and return 2; operational failures return 1.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, "-bogus"},
+		{"positional args", []string{"stray"}, "unexpected arguments"},
+		{"unknown solver", []string{"-solver", "bogus"}, "unknown solver"},
+		{"unknown merge", []string{"-merge", "bogus"}, "unknown solver"},
+		{"unknown backend", []string{"-backend", "bogus"}, "bogus"},
+	}
+	for _, tc := range cases {
+		var out, errb strings.Builder
+		if code := run(tc.args, &out, &errb); code != 2 {
+			t.Fatalf("%s: exited %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(errb.String(), tc.want) {
+			t.Fatalf("%s: stderr missing %q:\n%s", tc.name, tc.want, errb.String())
+		}
+		if out.Len() > 0 {
+			t.Fatalf("%s: usage error wrote to stdout:\n%s", tc.name, out.String())
+		}
+	}
+}
+
+// TestOperationalErrorExitOne: a well-formed invocation that fails at
+// run time (missing instance file) exits 1.
+func TestOperationalErrorExitOne(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-in", filepath.Join(t.TempDir(), "missing.txt")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("missing instance file exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "missing.txt") {
+		t.Fatalf("stderr missing the file name:\n%s", errb.String())
+	}
+}
+
+// TestRunSolvesSmallInstance exercises the happy path end-to-end.
+func TestRunSolvesSmallInstance(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-nodes", "24", "-prob", "0.3", "-maxqubits", "8",
+		"-solver", "anneal", "-merge", "exact", "-seed", "5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"instance:", "cut value:", "sub-graphs:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
 
 func TestPickSolverAllNames(t *testing.T) {
 	for _, name := range []string{"qaoa", "gw", "best", "anneal", "random", "one-exchange", "exact"} {

@@ -1,0 +1,110 @@
+// Command qaoa2d is the long-running QAOA² solve daemon: it serves
+// the internal/serve HTTP API — bounded priority job queue over the
+// task-graph runtime, graph-fingerprint result cache with duplicate
+// coalescing, NDJSON progress streaming — and drains gracefully on
+// SIGTERM/SIGINT: running jobs are interrupted into their checkpoints
+// and a daemon restarted on the same -dir resumes them bit-identically.
+//
+// Usage:
+//
+//	qaoa2d -addr 127.0.0.1:8817 -dir /var/lib/qaoa2d
+//	curl -s localhost:8817/v1/solve -d '{"graph":{"nodes":3,"edges":[
+//	  {"i":0,"j":1,"w":1},{"i":1,"j":2,"w":1}]},"solver":"anneal"}'
+//	curl -s localhost:8817/v1/jobs/<id>/events   # NDJSON stream
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qaoa2/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its exits and streams made testable: usage errors
+// return 2, operational failures 1, a graceful drain 0. When ready is
+// non-nil it receives the bound listen address once the daemon
+// accepts connections.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("qaoa2d", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8817", "HTTP listen address")
+		dir     = fs.String("dir", "", "state directory for checkpoints and the job table (empty = in-memory only, no resume)")
+		par     = fs.Int("parallelism", 0, "global worker-slot cap across running jobs (0 = GOMAXPROCS)")
+		jobPar  = fs.Int("job-parallelism", 0, "per-job worker budget clamp (0 = the global cap)")
+		queue   = fs.Int("queue", 64, "bound on waiting jobs; submissions beyond it get HTTP 429")
+		drainGP = fs.Duration("drain-grace", 30*time.Second, "HTTP shutdown grace after drain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "qaoa2d: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	srv, err := serve.New(serve.Config{
+		GlobalParallelism: *par,
+		MaxJobParallelism: *jobPar,
+		QueueLimit:        *queue,
+		StateDir:          *dir,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "qaoa2d: %v\n", err)
+		return 1
+	}
+
+	// Trap SIGTERM/SIGINT before announcing readiness so a signal
+	// arriving at any point after `ready` fires drains instead of
+	// killing the process.
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "qaoa2d: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	fmt.Fprintf(stdout, "qaoa2d: listening on %s (%s)\n", ln.Addr(), srv)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case got := <-sig:
+			fmt.Fprintf(stdout, "qaoa2d: %v: draining (running jobs checkpoint and park)\n", got)
+			srv.Drain()
+			ctx, cancel := context.WithTimeout(context.Background(), *drainGP)
+			defer cancel()
+			httpSrv.Shutdown(ctx)
+		case <-stop:
+		}
+	}()
+
+	err = httpSrv.Serve(ln)
+	srv.Close()
+	if err == http.ErrServerClosed {
+		fmt.Fprintln(stdout, "qaoa2d: drained, state persisted; restart to resume parked jobs")
+		return 0
+	}
+	fmt.Fprintf(stderr, "qaoa2d: %v\n", err)
+	return 1
+}

@@ -3,82 +3,170 @@
 // coordinator/worker distribution scheme, the cache-blocking
 // distributed-statevector scaling measurement — and, beyond the
 // virtual-time simulator, a REAL solve through the asynchronous
-// task-graph runtime with checkpoint/resume.
+// task-graph runtime with checkpoint/resume, either in-process or
+// submitted to a running qaoa2d daemon.
 //
 // Usage:
 //
 //	workflow              # all experiments at default scale
 //	workflow -jobs 8 -workers 1,2,4,8
 //	workflow -solve-nodes 200 -checkpoint run.ckpt   # kill it, re-run: it resumes
+//	workflow -submit http://127.0.0.1:8817           # remote solve via qaoa2d
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strconv"
 	"strings"
 
 	"qaoa2"
 	"qaoa2/internal/experiments"
+	"qaoa2/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("workflow: ")
-	var (
-		jobs    = flag.Int("jobs", 4, "hybrid jobs in the Fig. 1 scheduling comparison")
-		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for the Fig. 2 sweep")
-		qubits  = flag.Int("qubits", 16, "statevector size for the scaling experiment")
-		ranks   = flag.String("ranks", "1,2,4,8", "comma-separated rank counts (powers of two)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		solveNodes  = flag.Int("solve-nodes", 120, "graph size for the task-graph runtime solve (0 skips it)")
-		solveProb   = flag.Float64("solve-p", 0.08, "edge probability for the runtime solve")
-		solveQubits = flag.Int("solve-qubits", 12, "qubit budget for the runtime solve")
-		solvePar    = flag.Int("solve-parallelism", 0, "runtime worker-pool size (0 = GOMAXPROCS)")
-		solveSeed   = flag.Uint64("solve-seed", 3, "seed for the runtime solve")
-		checkpoint  = flag.String("checkpoint", "", "checkpoint file for the runtime solve (resumes when present)")
+// run is main with its exits and streams made testable. Usage errors
+// (bad flags, malformed integer lists) report to stderr and return 2;
+// operational failures return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("workflow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jobs    = fs.Int("jobs", 4, "hybrid jobs in the Fig. 1 scheduling comparison")
+		workers = fs.String("workers", "1,2,4", "comma-separated worker counts for the Fig. 2 sweep")
+		qubits  = fs.Int("qubits", 16, "statevector size for the scaling experiment")
+		ranks   = fs.String("ranks", "1,2,4,8", "comma-separated rank counts (powers of two)")
+
+		solveNodes  = fs.Int("solve-nodes", 120, "graph size for the task-graph runtime solve (0 skips it)")
+		solveProb   = fs.Float64("solve-p", 0.08, "edge probability for the runtime solve")
+		solveQubits = fs.Int("solve-qubits", 12, "qubit budget for the runtime solve")
+		solvePar    = fs.Int("solve-parallelism", 0, "runtime worker-pool size (0 = GOMAXPROCS)")
+		solveSeed   = fs.Uint64("solve-seed", 3, "seed for the runtime solve")
+		checkpoint  = fs.String("checkpoint", "", "checkpoint file for the runtime solve (resumes when present)")
+
+		submit      = fs.String("submit", "", "qaoa2d base URL: submit the solve remotely instead of running the experiments (e.g. http://127.0.0.1:8817)")
+		solveSolver = fs.String("solve-solver", "anneal", "sub-graph solver name for remote submission")
+		solveMerge  = fs.String("solve-merge", "anneal", "merge solver name for remote submission")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "workflow: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	if *submit != "" {
+		if err := submitDemo(stdout, *submit, *solveNodes, *solveProb, *solveQubits,
+			*solvePar, *solveSeed, *solveSolver, *solveMerge); err != nil {
+			fmt.Fprintf(stderr, "workflow: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Validate list-valued flags before any experiment runs so usage
+	// errors exit 2 without side effects.
+	workerList, err := parseInts(*workers)
+	if err != nil {
+		fmt.Fprintf(stderr, "workflow: %v\n", err)
+		return 2
+	}
+	rankList, err := parseInts(*ranks)
+	if err != nil {
+		fmt.Fprintf(stderr, "workflow: %v\n", err)
+		return 2
+	}
 
 	fig1, err := experiments.RunFig1(*jobs)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "workflow: %v\n", err)
+		return 1
 	}
-	fmt.Print(experiments.RenderFig1(fig1))
-	fmt.Println()
+	fmt.Fprint(stdout, experiments.RenderFig1(fig1))
+	fmt.Fprintln(stdout)
 
 	cfg := experiments.DefaultFig2Config()
-	cfg.Workers, err = parseInts(*workers)
-	if err != nil {
-		log.Fatal(err)
-	}
+	cfg.Workers = workerList
 	points, err := experiments.RunFig2(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "workflow: %v\n", err)
+		return 1
 	}
-	fmt.Print(experiments.RenderFig2(points))
-	fmt.Println()
+	fmt.Fprint(stdout, experiments.RenderFig2(points))
+	fmt.Fprintln(stdout)
 
-	rankList, err := parseInts(*ranks)
-	if err != nil {
-		log.Fatal(err)
-	}
 	scaling, err := experiments.RunScaling(*qubits, 2, rankList, 7)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "workflow: %v\n", err)
+		return 1
 	}
-	fmt.Print(experiments.RenderScaling(scaling))
+	fmt.Fprint(stdout, experiments.RenderScaling(scaling))
 
 	if *solveNodes > 0 {
-		fmt.Println()
-		if err := runtimeDemo(os.Stdout, *solveNodes, *solveProb, *solveQubits,
+		fmt.Fprintln(stdout)
+		if err := runtimeDemo(stdout, *solveNodes, *solveProb, *solveQubits,
 			*solvePar, *solveSeed, *checkpoint); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "workflow: %v\n", err)
+			return 1
 		}
 	}
+	return 0
+}
+
+// submitDemo runs the runtime solve remotely: it submits the same
+// generated instance to a qaoa2d daemon through the serve client and
+// streams the job's NDJSON progress events.
+func submitDemo(w io.Writer, base string, nodes int, p float64, maxQubits, parallelism int,
+	seed uint64, solver, merge string) error {
+	g := qaoa2.ErdosRenyi(nodes, p, qaoa2.Unweighted, qaoa2.NewRand(seed))
+	fmt.Fprintf(w, "remote solve of %v via %s (cap %d qubits, solver %s, merge %s)\n",
+		g, base, maxQubits, solver, merge)
+
+	client := &qaoa2.ServeClient{Base: base}
+	req := qaoa2.SolveRequest{
+		Graph:       qaoa2.GraphSpecOf(g),
+		MaxQubits:   maxQubits,
+		Solver:      solver,
+		Merge:       merge,
+		Seed:        seed,
+		Parallelism: parallelism,
+	}
+	st, err := client.Solve(context.Background(), req, func(ev qaoa2.ServeEvent) {
+		switch ev.Kind {
+		case "sub-solve", "merge-solve":
+			mark := ""
+			if ev.Restored {
+				mark = " (restored from checkpoint)"
+			}
+			fmt.Fprintf(w, "  %-12s %-10s %3d nodes  cut %8.2f%s\n",
+				ev.Task, ev.Kind, ev.Nodes, ev.Value, mark)
+		case "partition":
+			fmt.Fprintf(w, "  %-12s %-10s %3d nodes %4d edges\n",
+				ev.Task, ev.Kind, ev.Nodes, ev.Edges)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	switch st.State {
+	case serve.JobDone:
+		fmt.Fprintf(w, "job %s done: cut %.2f over %d levels, %d first-level sub-graphs (%d events, %d restored)\n",
+			st.ID, st.Result.Value, st.Result.Levels, st.Result.SubGraphs, st.Events, st.Restores)
+	case serve.JobFailed:
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	default:
+		fmt.Fprintf(w, "job %s parked (%s): the daemon drained; restart it to resume\n", st.ID, st.State)
+	}
+	return nil
 }
 
 // runtimeDemo runs one QAOA² solve through the asynchronous task-graph

@@ -1,10 +1,74 @@
 package main
 
 import (
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"qaoa2/internal/serve"
 )
+
+// TestUsageErrorsExitTwo pins the CLI contract: usage errors report to
+// stderr and return 2, before any experiment runs.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, "-bogus"},
+		{"positional args", []string{"stray"}, "unexpected arguments"},
+		{"bad workers list", []string{"-workers", "1,x"}, "bad integer list"},
+		{"bad ranks list", []string{"-ranks", "2,,4"}, "bad integer list"},
+	}
+	for _, tc := range cases {
+		var out, errb strings.Builder
+		if code := run(tc.args, &out, &errb); code != 2 {
+			t.Fatalf("%s: exited %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(errb.String(), tc.want) {
+			t.Fatalf("%s: stderr missing %q:\n%s", tc.name, tc.want, errb.String())
+		}
+		if out.Len() > 0 {
+			t.Fatalf("%s: usage error wrote to stdout:\n%s", tc.name, out.String())
+		}
+	}
+}
+
+// TestSubmitDemoAgainstLiveService runs the remote-submission path
+// against an in-process serve handler.
+func TestSubmitDemoAgainstLiveService(t *testing.T) {
+	srv, err := serve.New(serve.Config{GlobalParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	var out strings.Builder
+	if err := submitDemo(&out, hs.URL, 40, 0.15, 8, 2, 7, "anneal", "anneal"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "remote solve") || !strings.Contains(got, "done: cut ") {
+		t.Fatalf("submit demo output incomplete:\n%s", got)
+	}
+	if !strings.Contains(got, "sub-solve") {
+		t.Fatalf("submit demo streamed no sub-solve events:\n%s", got)
+	}
+
+	// Resubmitting the identical instance answers from the cache
+	// without streaming a second solve.
+	var second strings.Builder
+	if err := submitDemo(&second, hs.URL, 40, 0.15, 8, 2, 7, "anneal", "anneal"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "done: cut ") {
+		t.Fatalf("cached resubmission output:\n%s", second.String())
+	}
+}
 
 func TestRuntimeDemoWithCheckpointResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "demo.ckpt")

@@ -1,0 +1,133 @@
+// Example solve_service runs the whole service stack in one process:
+// it starts the long-running solve server on a loopback listener,
+// submits a burst of jobs through the HTTP client — including
+// duplicates that coalesce onto one solve and a high-priority job
+// that overtakes the queue — streams NDJSON progress events, and
+// finishes with a remote-dispatched QAOA² solve whose leaves are
+// solved by the daemon.
+//
+// Run with:
+//
+//	go run ./examples/solve_service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"qaoa2"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solve_service: ")
+
+	srv, err := qaoa2.NewServeServer(qaoa2.ServeConfig{
+		GlobalParallelism: 2,
+		QueueLimit:        16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	client := &qaoa2.ServeClient{Base: base}
+	ctx := context.Background()
+
+	// A burst of submissions: three distinct instances plus two
+	// duplicates of the first. Duplicates coalesce onto one job.
+	g1 := qaoa2.ErdosRenyi(40, 0.15, qaoa2.Unweighted, qaoa2.NewRand(1))
+	g2 := qaoa2.ErdosRenyi(36, 0.2, qaoa2.Unweighted, qaoa2.NewRand(2))
+	g3 := qaoa2.ErdosRenyi(44, 0.12, qaoa2.Unweighted, qaoa2.NewRand(3))
+	mkReq := func(g *qaoa2.Graph, seed uint64) qaoa2.SolveRequest {
+		return qaoa2.SolveRequest{
+			Graph:     qaoa2.GraphSpecOf(g),
+			MaxQubits: 10,
+			Solver:    "anneal",
+			Merge:     "anneal",
+			Seed:      seed,
+		}
+	}
+	requests := []qaoa2.SolveRequest{
+		mkReq(g1, 1), mkReq(g2, 2), mkReq(g3, 3),
+		mkReq(g1, 1), mkReq(g1, 1), // duplicates
+	}
+	ids := map[string]bool{}
+	for i, req := range requests {
+		st, err := client.Submit(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if st.Coalesced {
+			note = " (coalesced onto the in-flight duplicate)"
+		}
+		if st.Cached {
+			note = " (served from the result cache)"
+		}
+		fmt.Printf("submission %d -> job %s state %s%s\n", i, st.ID, st.State, note)
+		ids[st.ID] = true
+	}
+	fmt.Printf("%d submissions became %d jobs\n\n", len(requests), len(ids))
+
+	// Follow one job's NDJSON event stream to completion.
+	first, err := client.Submit(ctx, requests[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := 0
+	final, err := client.Stream(ctx, first.ID, func(ev qaoa2.ServeEvent) {
+		events++
+		if ev.Kind == "sub-solve" || ev.Kind == "merge-solve" {
+			fmt.Printf("  event %2d  %-12s %-11s %3d nodes  cut %7.2f\n",
+				ev.Seq, ev.Task, ev.Kind, ev.Nodes, ev.Value)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: %s, cut %.2f (%d events streamed)\n\n",
+		final.ID, final.State, final.Result.Value, events)
+
+	// Wait out the rest, then show the cache answering instantly.
+	for id := range ids {
+		if _, err := client.Stream(ctx, id, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cached, err := client.Submit(ctx, requests[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmitting a finished instance: cached=%v, cut %.2f\n\n",
+		cached.Cached, cached.Result.Value)
+
+	// Remote dispatch: a QAOA² divide-and-conquer whose leaf solves
+	// run on the daemon (identical leaves hit its cache).
+	big := qaoa2.ErdosRenyi(80, 0.08, qaoa2.Unweighted, qaoa2.NewRand(7))
+	res, err := qaoa2.Solve(big, qaoa2.Options{
+		MaxQubits:   12,
+		Solver:      qaoa2.RemoteSolver{Client: client},
+		MergeSolver: qaoa2.AnnealSolver{},
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote-dispatched QAOA² on %v: cut %.2f over %d sub-graphs (%s)\n",
+		big, res.Cut.Value, res.SubGraphs, qaoa2.SummarizeSubReports(res.SubReports))
+	fmt.Printf("daemon now tracks %d jobs\n", len(srv.Jobs()))
+}

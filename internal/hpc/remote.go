@@ -1,0 +1,96 @@
+package hpc
+
+import (
+	"context"
+	"fmt"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/serve"
+)
+
+// RemoteSolver offloads sub-graph solves to a running qaoa2d daemon:
+// it is a drop-in SubSolver, so the coordinator workflow (and plain
+// qaoa2.Solve) can dispatch leaves to a remote solve service instead
+// of the local simulator — the first step toward the multi-backend
+// dispatch the service layer exists for.
+//
+// Determinism: the per-sub-graph seed is drawn from the solver's
+// deterministic stream, and the daemon solves it with the named
+// registry solvers — the same cut the equivalent local solver
+// returns. Because each leaf's seed is distinct (it derives from the
+// leaf's position in the computation tree) leaves do NOT deduplicate
+// within one solve; RE-RUNNING a solve with the same root seed
+// resubmits identical (graph, seed) pairs and hits the daemon's
+// result cache leaf by leaf.
+type RemoteSolver struct {
+	// Client reaches the daemon.
+	Client *serve.Client
+	// Solver/Merge name the remote registry solvers (default
+	// "anneal"/"anneal" — deterministic and cheap; set "qaoa" to spend
+	// remote quantum simulation).
+	Solver, Merge string
+	// MaxQubits is the remote device budget; 0 lets every sub-graph
+	// solve directly (budget = sub-graph size). A smaller budget makes
+	// the daemon divide-and-conquer the sub-graph again.
+	MaxQubits int
+	// Priority selects the daemon queue lane ("" = normal).
+	Priority string
+}
+
+// Name implements SubSolver.
+func (s RemoteSolver) Name() string {
+	solver := s.Solver
+	if solver == "" {
+		solver = "anneal"
+	}
+	return "remote:" + solver
+}
+
+// SolveSub implements SubSolver by submitting the sub-graph and
+// waiting on the daemon's event stream.
+func (s RemoteSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	if s.Client == nil {
+		return maxcut.Cut{}, fmt.Errorf("hpc: RemoteSolver needs a Client")
+	}
+	solver, merge := s.Solver, s.Merge
+	if solver == "" {
+		solver = "anneal"
+	}
+	if merge == "" {
+		merge = "anneal"
+	}
+	maxQubits := s.MaxQubits
+	if maxQubits <= 0 {
+		maxQubits = g.N()
+	}
+	req := serve.SolveRequest{
+		Graph:     serve.GraphSpecOf(g),
+		MaxQubits: maxQubits,
+		Solver:    solver,
+		Merge:     merge,
+		Seed:      r.Uint64(),
+		Priority:  s.Priority,
+	}
+	st, err := s.Client.Solve(context.Background(), req, nil)
+	if err != nil {
+		return maxcut.Cut{}, fmt.Errorf("hpc: remote solve: %w", err)
+	}
+	switch st.State {
+	case serve.JobDone:
+	case serve.JobFailed:
+		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s failed: %s", st.ID, st.Error)
+	default:
+		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s parked (%s): daemon drained mid-solve", st.ID, st.State)
+	}
+	spins, err := serve.DecodeSpins(st.Result.Spins)
+	if err != nil {
+		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s: %w", st.ID, err)
+	}
+	if len(spins) != g.N() {
+		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s returned %d spins for %d nodes",
+			st.ID, len(spins), g.N())
+	}
+	return maxcut.Cut{Spins: spins, Value: st.Result.Value}, nil
+}

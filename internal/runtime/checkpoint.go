@@ -34,6 +34,19 @@ type Header struct {
 // checkpointVersion is bumped whenever the entry format changes.
 const checkpointVersion = 1
 
+// Fingerprint digests the header into a stable 16-hex-character id.
+// Two runs share a fingerprint exactly when their checkpoints are
+// interchangeable — the same identity the resume match uses — so it
+// doubles as the job/result-cache key of the solve service
+// (internal/serve): identical (graph, seed, solver-config) submissions
+// collapse onto one fingerprint regardless of scheduling knobs.
+func (h Header) Fingerprint() string {
+	f := fnv.New64a()
+	fmt.Fprintf(f, "%d|%s|%d|%d|%s|%s|%s",
+		h.Version, h.Graph, h.Seed, h.MaxQubits, h.Solver, h.Merge, h.Config)
+	return fmt.Sprintf("%016x", f.Sum64())
+}
+
 // entry is one completed task, appended as a JSON line. Spins are
 // encoded as a +/- string; Value round-trips exactly through JSON
 // (encoding/json emits the shortest float64 representation that
@@ -164,7 +177,7 @@ func (c *Checkpoint) load(data []byte, want Header) bool {
 		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
 			continue
 		}
-		spins, ok := decodeSpins(e.Spins)
+		spins, ok := DecodeSpins(e.Spins)
 		if !ok {
 			continue
 		}
@@ -209,7 +222,7 @@ func (c *Checkpoint) Record(key string, r Record) error {
 	}
 	line, err := json.Marshal(entry{
 		Key:    key,
-		Spins:  encodeSpins(r.Cut.Spins),
+		Spins:  EncodeSpins(r.Cut.Spins),
 		Value:  r.Cut.Value,
 		Solver: r.Solver,
 	})
@@ -252,7 +265,10 @@ func (c *Checkpoint) Close() error {
 	return err
 }
 
-func encodeSpins(spins []int8) string {
+// EncodeSpins renders a cut assignment in the +/- wire encoding used
+// by checkpoint entries — and, via internal/serve, by the solve
+// service's result wire format, so the two can never diverge.
+func EncodeSpins(spins []int8) string {
 	b := make([]byte, len(spins))
 	for i, s := range spins {
 		if s < 0 {
@@ -264,7 +280,9 @@ func encodeSpins(spins []int8) string {
 	return string(b)
 }
 
-func decodeSpins(s string) ([]int8, bool) {
+// DecodeSpins parses the +/- wire encoding; ok is false on any other
+// character.
+func DecodeSpins(s string) ([]int8, bool) {
 	spins := make([]int8, len(s))
 	for i := 0; i < len(s); i++ {
 		switch s[i] {

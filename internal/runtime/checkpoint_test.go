@@ -241,15 +241,40 @@ func TestCheckpointDuplicateRecordIgnored(t *testing.T) {
 
 func TestSpinsEncoding(t *testing.T) {
 	spins := []int8{1, -1, -1, 1}
-	enc := encodeSpins(spins)
+	enc := EncodeSpins(spins)
 	if enc != "+--+" {
 		t.Fatalf("encode %q", enc)
 	}
-	dec, ok := decodeSpins(enc)
+	dec, ok := DecodeSpins(enc)
 	if !ok || len(dec) != 4 || dec[0] != 1 || dec[1] != -1 {
 		t.Fatalf("decode %v ok=%v", dec, ok)
 	}
-	if _, ok := decodeSpins("+x-"); ok {
+	if _, ok := DecodeSpins("+x-"); ok {
 		t.Fatal("bad spin char accepted")
+	}
+}
+
+func TestHeaderFingerprint(t *testing.T) {
+	base := Header{Graph: "abc", Seed: 7, MaxQubits: 12, Solver: "qaoa", Merge: "gw", Config: "layers:3"}
+	fp := base.Fingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q, want 16 hex chars", fp)
+	}
+	if base.Fingerprint() != fp {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Every identity field must move the digest.
+	variants := []Header{
+		{Graph: "abd", Seed: 7, MaxQubits: 12, Solver: "qaoa", Merge: "gw", Config: "layers:3"},
+		{Graph: "abc", Seed: 8, MaxQubits: 12, Solver: "qaoa", Merge: "gw", Config: "layers:3"},
+		{Graph: "abc", Seed: 7, MaxQubits: 16, Solver: "qaoa", Merge: "gw", Config: "layers:3"},
+		{Graph: "abc", Seed: 7, MaxQubits: 12, Solver: "gw", Merge: "gw", Config: "layers:3"},
+		{Graph: "abc", Seed: 7, MaxQubits: 12, Solver: "qaoa", Merge: "exact", Config: "layers:3"},
+		{Graph: "abc", Seed: 7, MaxQubits: 12, Solver: "qaoa", Merge: "gw", Config: "layers:4"},
+	}
+	for i, h := range variants {
+		if h.Fingerprint() == fp {
+			t.Fatalf("variant %d shares the base fingerprint", i)
+		}
 	}
 }

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the Go API against a running qaoa2d daemon (or any
+// Server.Handler). The zero HTTP client is replaced by
+// http.DefaultClient.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8817".
+	Base string
+	// HTTP overrides the transport (tests inject httptest clients).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+// decodeError maps a non-2xx response to the error its body carries.
+func decodeError(resp *http.Response) error {
+	var body errorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Errorf("%s (HTTP %d)", body.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}
+
+// Submit posts one solve request and returns the job's status —
+// possibly already complete (Cached) or attached to an in-flight
+// duplicate (Coalesced).
+func (c *Client) Submit(ctx context.Context, req SolveRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/solve"), bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, decodeError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Job fetches one job's status snapshot.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, decodeError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Stream follows the job's NDJSON event stream, invoking onEvent for
+// every progress line (nil is allowed), and returns the terminal
+// status line once the job settles. A job parked by a server drain
+// returns with State == JobQueued; resubscribe after the server
+// restarts to follow the resumed run.
+func (c *Client) Stream(ctx context.Context, id string, onEvent func(Event)) (JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl StreamLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return JobStatus{}, fmt.Errorf("serve: bad stream line %q: %w", line, err)
+		}
+		switch {
+		case sl.Event != nil:
+			if onEvent != nil {
+				onEvent(*sl.Event)
+			}
+		case sl.Status != nil:
+			return *sl.Status, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobStatus{}, err
+	}
+	return JobStatus{}, fmt.Errorf("serve: event stream for %s ended without a status line", id)
+}
+
+// Solve is the synchronous convenience: submit, then follow the event
+// stream until the job settles. Cached results return immediately.
+func (c *Client) Solve(ctx context.Context, req SolveRequest, onEvent func(Event)) (JobStatus, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if st.State == JobDone || st.State == JobFailed {
+		return st, nil
+	}
+	return c.Stream(ctx, st.ID, onEvent)
+}

@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDrainResumeBitIdentical is the service-level kill/resume
+// acceptance test: a solve is drained mid-run (two sub-solves parked
+// at the gate, more never started), the job parks as queued with its
+// completed work checkpointed, and a second server generation on the
+// same state directory resumes it — restoring the checkpointed tasks
+// instead of re-solving them — to a final cut bit-identical to an
+// uninterrupted run of the same request.
+func TestDrainResumeBitIdentical(t *testing.T) {
+	req := erReq(48, 8, 9)
+	req.Parallelism = 2
+
+	// Reference: the same request solved uninterrupted.
+	refGate := setGate(t, 0, true)
+	refDir := t.TempDir()
+	ref, err := New(Config{
+		GlobalParallelism: 2,
+		StateDir:          refDir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ref.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitDone(t, ref, st.ID)
+	if want.State != JobDone {
+		t.Fatalf("reference run finished as %s (err %q)", want.State, want.Error)
+	}
+	ref.Close()
+	refSolves, _, _ := refGate.Stats()
+	if refSolves < 5 {
+		t.Fatalf("reference run used %d solves; the instance is too small to interrupt meaningfully", refSolves)
+	}
+
+	// Generation 1: let two sub-solves through, park the next two,
+	// then drain while they are in flight.
+	g1 := setGate(t, 2, false)
+	dir := t.TempDir()
+	s1, err := New(Config{
+		GlobalParallelism: 2,
+		StateDir:          dir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := s1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ID != st.ID {
+		t.Fatalf("job key differs between servers: %s vs %s", st1.ID, st.ID)
+	}
+	g1.WaitBlocked(t, 2)
+
+	drained := make(chan struct{})
+	go func() {
+		s1.Drain()
+		close(drained)
+	}()
+	waitDraining(t, s1)
+	g1.Open() // release the two in-flight solves; they checkpoint, the rest never start
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+
+	parked, err := s1.Job(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parked.State != JobQueued {
+		t.Fatalf("drained job state %s, want queued (parked)", parked.State)
+	}
+	gen1Solves, _, _ := g1.Stats()
+	if gen1Solves >= refSolves {
+		t.Fatalf("generation 1 ran %d solves (reference needed %d): drain landed too late to test resume",
+			gen1Solves, refSolves)
+	}
+	s1.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, jobsFile)); err != nil {
+		t.Fatalf("job table not persisted: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, st1.ID+".ckpt")); err != nil {
+		t.Fatalf("checkpoint not persisted: %v", err)
+	}
+
+	// Generation 2: restart on the same state dir with an open gate.
+	// The parked job re-queues, restores its checkpointed solves and
+	// completes.
+	g2 := setGate(t, 0, true)
+	s2, err := New(Config{
+		GlobalParallelism: 2,
+		StateDir:          dir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := waitDone(t, s2, st1.ID)
+	if got.State != JobDone {
+		t.Fatalf("resumed job finished as %s (err %q)", got.State, got.Error)
+	}
+	if got.Restores == 0 {
+		t.Fatal("resumed run restored nothing from the checkpoint")
+	}
+	if got.Restores < gen1Solves {
+		t.Fatalf("resumed run restored %d tasks, generation 1 completed %d", got.Restores, gen1Solves)
+	}
+	gen2Solves, _, _ := g2.Stats()
+	if gen1Solves+gen2Solves != refSolves {
+		t.Fatalf("solve split %d + %d across generations, reference needed %d",
+			gen1Solves, gen2Solves, refSolves)
+	}
+
+	// The headline guarantee: bit-identical final cut.
+	if got.Result.Spins != want.Result.Spins {
+		t.Fatalf("resumed spins differ from uninterrupted run:\n%s\nvs\n%s",
+			got.Result.Spins, want.Result.Spins)
+	}
+	if got.Result.Value != want.Result.Value {
+		t.Fatalf("resumed cut value %v differs from uninterrupted %v",
+			got.Result.Value, want.Result.Value)
+	}
+	if got.Result.Levels != want.Result.Levels || got.Result.SubGraphs != want.Result.SubGraphs {
+		t.Fatalf("resumed decomposition differs: %+v vs %+v", got.Result, want.Result)
+	}
+}
+
+// waitDraining polls until Drain has begun.
+func waitDraining(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRestartServesCacheAndRequeuesInOrder verifies the other half of
+// persistence: completed results survive a restart as cache hits, and
+// queued jobs restore in their persisted lane order.
+func TestRestartServesCacheAndRequeuesInOrder(t *testing.T) {
+	dir := t.TempDir()
+
+	gate1 := setGate(t, 1, false)
+	s1, err := New(Config{
+		GlobalParallelism: 1,
+		QueueLimit:        8,
+		StateDir:          dir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One job completes (the free pass)…
+	doneSt, err := s1.Submit(ringReq(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneSt = waitDone(t, s1, doneSt.ID)
+
+	// …one blocks holding the slot, three wait in lane order.
+	blocker, err := s1.Submit(ringReq(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate1.WaitBlocked(t, 1)
+	var waiting []string
+	for i, n := range []int{12, 14, 16} {
+		st, err := s1.Submit(ringReq(n, uint64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waiting = append(waiting, st.ID)
+	}
+	go s1.Drain()
+	waitDraining(t, s1)
+	gate1.Open()
+	s1.Close()
+
+	// Restart: both completed jobs (the free-pass one, and the blocker
+	// — a single-task direct solve that finished during the drain) are
+	// cache hits; the waiters rerun in persisted lane order.
+	gate2 := setGate(t, 0, true)
+	s2, err := New(Config{
+		GlobalParallelism: 1,
+		QueueLimit:        8,
+		StateDir:          dir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	cached, err := s2.Submit(ringReq(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached || cached.Result == nil || cached.Result.Spins != doneSt.Result.Spins {
+		t.Fatalf("completed job not served from persisted cache: %+v", cached)
+	}
+	for _, id := range append([]string{blocker.ID}, waiting...) {
+		st := waitDone(t, s2, id)
+		if st.State != JobDone {
+			t.Fatalf("restored job %s finished as %s (err %q)", id, st.State, st.Error)
+		}
+	}
+	if _, _, order := gate2.Stats(); fmt.Sprint(order) != fmt.Sprint([]int{12, 14, 16}) {
+		t.Fatalf("restored waiters solved in order %v, want [12 14 16]", order)
+	}
+}
+
+// TestDrainWakesQueuedStreamSubscribers: a subscriber streaming a job
+// that never starts must receive its parked status line the moment
+// the drain begins, not hang until the connection dies.
+func TestDrainWakesQueuedStreamSubscribers(t *testing.T) {
+	g := setGate(t, 0, false)
+	s, err := New(Config{
+		GlobalParallelism: 1,
+		QueueLimit:        4,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+
+	runner, err := s.Submit(ringReq(8, 1)) // holds the slot at the gate
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.WaitBlocked(t, 1)
+	queued, err := s.Submit(ringReq(10, 2)) // never starts
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type streamResult struct {
+		st  JobStatus
+		err error
+	}
+	got := make(chan streamResult, 1)
+	go func() {
+		st, err := c.Stream(context.Background(), queued.ID, nil)
+		got <- streamResult{st, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the subscriber attach
+
+	go s.Drain()
+	waitDraining(t, s)
+	select {
+	case res := <-got:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if res.st.State != JobQueued {
+			t.Fatalf("queued-job stream settled as %s, want queued", res.st.State)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued-job stream subscriber hung through the drain")
+	}
+	g.Open()
+	_ = runner
+}
+
+// TestFailedRetryAdoptsNewSchedulingFields: resubmitting a failed job
+// must pick up the retry's priority and parallelism, not the original
+// submission's.
+func TestFailedRetryAdoptsNewSchedulingFields(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 4, MaxJobParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// "exact" refuses graphs above the brute-force bound: a
+	// deterministic failure.
+	req := erReq(40, 8, 3)
+	req.Solver = "exact"
+	req.MaxQubits = 40 // direct solve of 40 nodes -> BruteForce error
+	req.Parallelism = 1
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitDone(t, s, st.ID)
+	if failed.State != JobFailed {
+		t.Fatalf("job finished as %s, want failed", failed.State)
+	}
+
+	retry := req
+	retry.Priority = PriorityHigh
+	retry.Parallelism = 3
+	st2, err := s.Submit(retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st.ID {
+		t.Fatalf("retry re-keyed: %s vs %s", st2.ID, st.ID)
+	}
+	if st2.Priority != PriorityHigh || st2.Parallelism != 3 {
+		t.Fatalf("retry kept stale scheduling fields: %+v", st2)
+	}
+}
+
+// TestTerminalJobEviction: the retention bound drops oldest-settled
+// jobs (and their checkpoints); evicted submissions re-solve.
+func TestTerminalJobEviction(t *testing.T) {
+	setGate(t, 0, true)
+	dir := t.TempDir()
+	s, err := New(Config{
+		GlobalParallelism: 1,
+		RetainJobs:        2,
+		StateDir:          dir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, err := s.Submit(ringReq(8, uint64(600+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, s, st.ID)
+		ids = append(ids, st.ID)
+	}
+	if n := len(s.Jobs()); n != 2 {
+		t.Fatalf("%d jobs retained, want 2", n)
+	}
+	if _, err := s.Job(ids[0]); err != ErrNotFound {
+		t.Fatalf("oldest job still present: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ids[0]+".ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("evicted job's checkpoint not removed: %v", err)
+	}
+	if _, err := s.Job(ids[3]); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+	// An evicted instance re-solves rather than answering from cache.
+	again, err := s.Submit(ringReq(8, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Fatal("evicted job served from cache")
+	}
+	waitDone(t, s, again.ID)
+}
+
+// TestKeyCollisionRejected: a key match whose stored request differs
+// must error, never serve the other request's result.
+func TestKeyCollisionRejected(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Submit(ringReq(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, st.ID)
+
+	// Forge a colliding entry: reuse the stored job under a request
+	// with a different graph by rewriting the map key is not possible
+	// from the outside, so simulate the collision directly.
+	s.mu.Lock()
+	j := s.jobs[st.ID]
+	j.fp = "0000000000000000" // pretend the stored job hashed from another graph
+	s.mu.Unlock()
+	if _, err := s.Submit(ringReq(10, 7)); err == nil ||
+		!strings.Contains(err.Error(), "collision") {
+		t.Fatalf("colliding submission not rejected: %v", err)
+	}
+}
+
+// TestDrainParksRunningJobAtLaneFront: a job interrupted mid-solve
+// must resume BEFORE jobs that were still waiting behind it — the
+// drain parks it at the front of its lane and the persisted order
+// keeps it there across the restart.
+func TestDrainParksRunningJobAtLaneFront(t *testing.T) {
+	g1 := setGate(t, 1, false)
+	dir := t.TempDir()
+	s1, err := New(Config{
+		GlobalParallelism: 1,
+		QueueLimit:        8,
+		StateDir:          dir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s1.Submit(erReq(48, 8, 21)) // partitioned: all task sizes <= 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1.WaitBlocked(t, 1) // one sub-solve done (free pass), next parked
+	b, err := s1.Submit(ringReq(12, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s1.Submit(ringReq(14, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() { s1.Drain(); close(drained) }()
+	waitDraining(t, s1)
+	g1.Open()
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	s1.Close()
+
+	gate2 := setGate(t, 0, true)
+	s2, err := New(Config{
+		GlobalParallelism: 1,
+		QueueLimit:        8,
+		StateDir:          dir,
+		Resolve:           gatedResolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range []string{a.ID, b.ID, c.ID} {
+		if st := waitDone(t, s2, id); st.State != JobDone {
+			t.Fatalf("job %s finished as %s (err %q)", id, st.State, st.Error)
+		}
+	}
+	// The single-slot server must finish the parked job's remaining
+	// solves before touching the waiters, in their FIFO order: the 12-
+	// and 14-node solves (sizes unique to B and C) come last.
+	_, _, order := gate2.Stats()
+	if len(order) < 3 {
+		t.Fatalf("too few solves recorded: %v", order)
+	}
+	if order[len(order)-2] != 12 || order[len(order)-1] != 14 {
+		t.Fatalf("waiters did not run after the parked job, in order: %v", order)
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// StreamLine is one NDJSON line of GET /v1/jobs/{id}/events: either a
+// progress event or the terminal status (always the last line).
+type StreamLine struct {
+	Event  *Event     `json:"event,omitempty"`
+	Status *JobStatus `json:"status,omitempty"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/solve          submit a SolveRequest → JobStatus
+//	GET  /v1/jobs           list all jobs
+//	GET  /v1/jobs/{id}      one job's status (result when done)
+//	GET  /v1/jobs/{id}/events  NDJSON progress stream (replay + live)
+//	GET  /healthz           liveness/drain state
+//
+// Submission errors map to 400 (bad request), 429 (queue full) and
+// 503 (draining).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a job's progress as NDJSON: the recorded
+// prefix replays first, live events follow in order, and the final
+// line carries the job's status once it settles (terminal, or parked
+// by a drain). Every subscriber — whenever it attaches — observes the
+// identical event sequence.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.addStreamRef(id) {
+		writeError(w, ErrNotFound)
+		return
+	}
+	defer s.releaseStreamRef(id)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, wake, status, settled, err := s.eventsFrom(id, next)
+		if err != nil {
+			return
+		}
+		for i := range evs {
+			if err := enc.Encode(StreamLine{Event: &evs[i]}); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if settled {
+			enc.Encode(StreamLine{Status: &status})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if s.Draining() {
+		state = "draining"
+	}
+	body := map[string]string{"status": state}
+	if err := s.PersistErr(); err != nil {
+		body["persistError"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, body)
+}

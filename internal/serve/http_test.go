@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// erReq builds a multi-sub-graph request: an Erdős–Rényi-shaped ring
+// with chords, large enough to force partitioning under the qubit cap
+// so a run emits partition, several sub-solve, merge and stitch
+// events.
+func erReq(n int, maxQubits int, seed uint64) SolveRequest {
+	spec := GraphSpec{Nodes: n}
+	for i := 0; i < n; i++ {
+		spec.Edges = append(spec.Edges, EdgeSpec{I: i, J: (i + 1) % n, W: 1})
+		if j := (i + 7) % n; j != i {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			spec.Edges = append(spec.Edges, EdgeSpec{I: lo, J: hi, W: 0.5})
+		}
+	}
+	return SolveRequest{Graph: spec, MaxQubits: maxQubits, Solver: "anneal", Merge: "anneal", Seed: seed}
+}
+
+// collectStream follows one NDJSON stream to its status line.
+func collectStream(c *Client, id string) ([]Event, JobStatus, error) {
+	var evs []Event
+	st, err := c.Stream(context.Background(), id, func(ev Event) { evs = append(evs, ev) })
+	return evs, st, err
+}
+
+// TestNDJSONEventOrdering submits one partitioned solve and follows
+// its event stream from several concurrent subscribers: every
+// subscriber sees the identical, gap-free, strictly ordered sequence
+// (replay + live), ending in the terminal status line.
+func TestNDJSONEventOrdering(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+
+	st, err := c.Submit(context.Background(), erReq(40, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const subscribers = 3
+	sequences := make([][]Event, subscribers)
+	finals := make([]JobStatus, subscribers)
+	errs := make([]error, subscribers)
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sequences[i], finals[i], errs[i] = collectStream(c, st.ID)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i, err)
+		}
+	}
+
+	ref := sequences[0]
+	if len(ref) == 0 {
+		t.Fatal("no events streamed")
+	}
+	kinds := make(map[string]int)
+	for i, ev := range ref {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d, want %d (ordering violated)", i, ev.Seq, i+1)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["partition"] == 0 || kinds["sub-solve"] < 2 || kinds["stitch"] != 1 {
+		t.Fatalf("unexpected event mix: %v", kinds)
+	}
+	for i := 1; i < subscribers; i++ {
+		if fmt.Sprint(sequences[i]) != fmt.Sprint(ref) {
+			t.Fatalf("subscriber %d saw a different sequence:\n%v\nvs\n%v", i, sequences[i], ref)
+		}
+	}
+	for i, fin := range finals {
+		if fin.State != JobDone || fin.Result == nil {
+			t.Fatalf("subscriber %d terminal status: %+v", i, fin)
+		}
+		if fin.Events != len(ref) {
+			t.Fatalf("subscriber %d status counts %d events, stream had %d", i, fin.Events, len(ref))
+		}
+	}
+
+	// A late subscriber replays the full identical sequence.
+	late, fin, err := collectStream(c, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(late) != fmt.Sprint(ref) || fin.State != JobDone {
+		t.Fatal("post-completion replay differs from the live stream")
+	}
+}
+
+// TestHTTPAPISurface exercises the non-streaming endpoints and error
+// mapping: 400 on garbage, 404 on unknown jobs, 503 while draining,
+// submit/job round-trips, and the jobs listing.
+func TestHTTPAPISurface(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	ctx := context.Background()
+
+	resp, err := hs.Client().Post(hs.URL+"/v1/solve", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	if _, err := c.Job(ctx, "missing"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown job: %v, want 404", err)
+	}
+
+	st, err := c.Solve(ctx, ringReq(10, 77), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || st.Result == nil || len(st.Result.Spins) != 10 {
+		t.Fatalf("solve returned %+v", st)
+	}
+	got, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result == nil || got.Result.Spins != st.Result.Spins {
+		t.Fatalf("job fetch result mismatch: %+v vs %+v", got.Result, st.Result)
+	}
+
+	var health map[string]string
+	hresp, err := hs.Client().Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("health %v, want ok", health)
+	}
+
+	s.Drain()
+	if _, err := c.Submit(ctx, ringReq(12, 78)); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("submit while draining: %v, want 503", err)
+	}
+	hresp, err = hs.Client().Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health = nil
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health["status"] != "draining" {
+		t.Fatalf("health %v, want draining", health)
+	}
+
+	lresp, err := hs.Client().Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("jobs listing %+v, want exactly %s", list, st.ID)
+	}
+}

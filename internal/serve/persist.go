@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	rt "qaoa2/internal/runtime"
+)
+
+// jobsFile is the persisted job table inside Config.StateDir.
+const jobsFile = "jobs.json"
+
+// persistedJob is one job's durable record. Events are not persisted —
+// a resumed job replays its solve through the checkpoint (restored
+// tasks re-emit events with Restored set), so streams reconstruct.
+type persistedJob struct {
+	ID       string       `json:"id"`
+	Request  SolveRequest `json:"request"`
+	State    JobState     `json:"state"`
+	Error    string       `json:"error,omitempty"`
+	Result   *JobResult   `json:"result,omitempty"`
+	Priority string       `json:"priority"`
+	// Order preserves FIFO position within the lane across restarts.
+	Order int `json:"order"`
+}
+
+// persistedState is the jobs.json schema.
+type persistedState struct {
+	Version int            `json:"version"`
+	Jobs    []persistedJob `json:"jobs"`
+}
+
+const persistVersion = 1
+
+// persistLocked marks the job table dirty: the persister goroutine
+// snapshots and writes it off the hot path, so no API call ever
+// blocks on disk I/O behind s.mu. A nil StateDir makes it a no-op.
+// Caller holds mu. Durability points that must not race a process
+// exit (drain handoff) call persistNow directly instead.
+func (s *Server) persistLocked() {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	select {
+	case s.persistKick <- struct{}{}:
+	default: // a write is already pending; it will see this state
+	}
+}
+
+// persister serializes job-table writes, coalescing bursts of state
+// transitions into one snapshot per write.
+func (s *Server) persister() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.persistKick:
+			s.persistNow()
+		case <-s.persistStop:
+			// Final write so a kicked-but-unwritten state is not lost.
+			s.persistNow()
+			return
+		}
+	}
+}
+
+// persistNow snapshots the table under mu, then marshals and writes
+// it atomically (temp file + rename) outside mu. Persistence failures
+// are reported through PersistErr rather than failing the solve: the
+// in-memory service stays correct, only restart durability degrades.
+func (s *Server) persistNow() {
+	s.mu.Lock()
+	st := s.snapshotLocked()
+	s.persistSeq++
+	seq := s.persistSeq
+	s.mu.Unlock()
+
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if seq < s.persistWritten {
+		// A newer snapshot already reached disk (the persister raced a
+		// synchronous Drain write): writing this one would roll state
+		// back.
+		return
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		s.lastPersistErr = err
+		return
+	}
+	path := filepath.Join(s.cfg.StateDir, jobsFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		s.lastPersistErr = err
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		s.lastPersistErr = err
+		return
+	}
+	s.persistWritten = seq
+	s.lastPersistErr = nil
+}
+
+// snapshotLocked captures the persistable job table. Caller holds mu;
+// the referenced requests/results are immutable after creation, so
+// the snapshot is safe to marshal outside the lock.
+func (s *Server) snapshotLocked() persistedState {
+	st := persistedState{Version: persistVersion}
+	// Stable order: lane position for queued jobs (including jobs a
+	// drain parked back at the front), map order is irrelevant for the
+	// rest.
+	order := 0
+	pos := make(map[string]int)
+	for _, lane := range s.lanes {
+		for _, j := range lane {
+			pos[j.id] = order
+			order++
+		}
+	}
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobs[id]
+		pj := persistedJob{
+			ID:       j.id,
+			Request:  j.req,
+			State:    j.state,
+			Result:   j.result,
+			Priority: j.req.Priority,
+			Order:    pos[j.id],
+		}
+		if j.err != nil {
+			pj.Error = j.err.Error()
+		}
+		st.Jobs = append(st.Jobs, pj)
+	}
+	return st
+}
+
+// PersistErr reports the most recent job-table write failure (nil when
+// healthy); surfaced by the daemon's health endpoint.
+func (s *Server) PersistErr() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.lastPersistErr
+}
+
+// restore loads jobs.json: done/failed jobs become cache entries,
+// queued and previously running jobs re-enqueue in their persisted
+// lane order (their checkpoints make the re-run resume rather than
+// recompute). Called from New before the scheduler starts.
+func (s *Server) restore() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("serve: state dir: %w", err)
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.StateDir, jobsFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: read job table: %w", err)
+	}
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("serve: corrupt job table %s: %w",
+			filepath.Join(s.cfg.StateDir, jobsFile), err)
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("serve: job table version %d, want %d", st.Version, persistVersion)
+	}
+	var requeue []*job
+	for _, pj := range st.Jobs {
+		req, err := pj.Request.normalize()
+		if err != nil {
+			return fmt.Errorf("serve: persisted job %s: %w", pj.ID, err)
+		}
+		g, err := req.Graph.Build()
+		if err != nil {
+			return fmt.Errorf("serve: persisted job %s: %w", pj.ID, err)
+		}
+		fp := rt.GraphFingerprint(g)
+		if got := req.key(fp); got != pj.ID {
+			return fmt.Errorf("serve: persisted job %s does not match its request (key %s)", pj.ID, got)
+		}
+		j := &job{
+			id:          pj.ID,
+			req:         req,
+			g:           g,
+			fp:          fp,
+			parallelism: s.clampParallelism(req.Parallelism),
+			wake:        make(chan struct{}),
+			done:        make(chan struct{}),
+		}
+		switch pj.State {
+		case JobDone:
+			j.state = JobDone
+			j.result = pj.Result
+			s.doneCount++
+			j.doneSeq = s.doneCount
+			close(j.done)
+		case JobFailed:
+			j.state = JobFailed
+			j.err = fmt.Errorf("%s", pj.Error)
+			s.doneCount++
+			j.doneSeq = s.doneCount
+			close(j.done)
+		default:
+			// Queued and interrupted/crashed running jobs both restart
+			// from their checkpoint.
+			j.state = JobQueued
+			j.order = pj.Order
+			requeue = append(requeue, j)
+		}
+		s.jobs[j.id] = j
+	}
+	sort.SliceStable(requeue, func(a, b int) bool { return requeue[a].order < requeue[b].order })
+	for _, j := range requeue {
+		s.lanes[laneOf(j.req.Priority)] = append(s.lanes[laneOf(j.req.Priority)], j)
+	}
+	// A retention bound lowered between generations applies to the
+	// restored table too.
+	s.evictLocked()
+	return nil
+}

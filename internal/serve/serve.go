@@ -1,0 +1,713 @@
+// Package serve turns the QAOA² library into a long-running,
+// multi-tenant solve service: a bounded job queue with priority lanes
+// and admission control layered on the task-graph runtime's worker
+// budgets, a graph-fingerprint result cache that coalesces duplicate
+// submissions onto one solve, NDJSON streaming of runtime progress
+// events, and graceful drain with checkpoint handoff so in-flight
+// jobs resume bit-identically after a restart. cmd/qaoa2d is the
+// daemon front end; Client is the Go API cmd/workflow submits through.
+//
+// Scheduling model: every job runs the asynchronous task-graph runtime
+// (internal/runtime) with a per-job worker budget. The server admits a
+// waiting job only while the sum of running budgets stays within
+// Config.GlobalParallelism — the service-level counterpart of the
+// finite device pool of the paper's Fig. 2. High-priority jobs are
+// admitted first; within a lane the queue is strict FIFO with slot
+// reservation: freed slots accumulate for the head job until its
+// budget fits, so a wide or high-priority job can never be starved by
+// a stream of narrow ones.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qaoa2/internal/graph"
+	q2 "qaoa2/internal/qaoa2"
+	rt "qaoa2/internal/runtime"
+)
+
+// Config configures a Server.
+type Config struct {
+	// GlobalParallelism caps the summed runtime worker budgets of
+	// concurrently running jobs (default GOMAXPROCS).
+	GlobalParallelism int
+	// MaxJobParallelism clamps one job's budget (default
+	// GlobalParallelism). Requests that omit Parallelism get the full
+	// clamp.
+	MaxJobParallelism int
+	// QueueLimit bounds waiting (admitted but not yet running) jobs;
+	// submissions beyond it fail with ErrQueueFull (default 64).
+	QueueLimit int
+	// RetainJobs bounds terminal (done/failed) jobs kept as cache
+	// entries; the oldest-settled are evicted — and their checkpoint
+	// files removed — beyond it (default 512). This also bounds the
+	// persisted job table a long-running daemon rewrites.
+	RetainJobs int
+	// StateDir, when set, holds one runtime checkpoint per job plus
+	// the persisted job table, so a drained or killed server resumes
+	// its queue — and completed results survive restarts as cache
+	// hits. Empty keeps everything in memory.
+	StateDir string
+	// Resolve maps a request to concrete solvers (default
+	// ResolveSolvers; tests inject instrumented solvers).
+	Resolve func(SolveRequest) (Solvers, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.GlobalParallelism <= 0 {
+		c.GlobalParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxJobParallelism <= 0 || c.MaxJobParallelism > c.GlobalParallelism {
+		c.MaxJobParallelism = c.GlobalParallelism
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 512
+	}
+	if c.Resolve == nil {
+		c.Resolve = ResolveSolvers
+	}
+	return c
+}
+
+// Submission errors the HTTP layer maps to 429/503.
+var (
+	// ErrQueueFull rejects a submission when the wait queue is at
+	// Config.QueueLimit.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects submissions after Drain started.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	// JobQueued jobs wait for a worker-slot grant (also the parked
+	// state of a drained in-flight job awaiting restart).
+	JobQueued JobState = "queued"
+	// JobRunning jobs hold worker slots and are solving.
+	JobRunning JobState = "running"
+	// JobDone jobs completed; Result is set and cached.
+	JobDone JobState = "done"
+	// JobFailed jobs errored; a resubmission retries them.
+	JobFailed JobState = "failed"
+)
+
+// JobResult is the completed solve in wire form. Spins uses the
+// checkpoint store's +/- encoding, so bit-identity across runs is a
+// string comparison.
+type JobResult struct {
+	Spins     string      `json:"spins"`
+	Value     float64     `json:"value"`
+	Levels    int         `json:"levels"`
+	SubGraphs int         `json:"subGraphs"`
+	IntraCut  float64     `json:"intraCut"`
+	CrossCut  float64     `json:"crossCut"`
+	Reports   []SubReport `json:"reports,omitempty"`
+}
+
+// SubReport mirrors qaoa2.SubReport in wire form.
+type SubReport struct {
+	Nodes  int     `json:"nodes"`
+	Edges  int     `json:"edges"`
+	Value  float64 `json:"value"`
+	Solver string  `json:"solver"`
+}
+
+// JobStatus is the externally visible job snapshot (submit responses,
+// GET /v1/jobs/{id}, and the terminal NDJSON stream line).
+type JobStatus struct {
+	ID          string   `json:"id"`
+	State       JobState `json:"state"`
+	Priority    string   `json:"priority"`
+	Parallelism int      `json:"parallelism"`
+	// Cached marks a submission answered from the completed-result
+	// cache; Coalesced marks one attached to an in-flight duplicate.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Events counts progress events so far; Restores counts solve
+	// tasks served from the job's checkpoint (resumed work).
+	Events   int        `json:"events"`
+	Restores int        `json:"restores"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+}
+
+// job is the internal record behind a JobStatus.
+type job struct {
+	id  string
+	req SolveRequest // normalized
+	g   *graph.Graph
+	// fp is the graph fingerprint behind id; kept so a key match can
+	// be verified against the actual request (the id is a 64-bit
+	// digest of user-controlled input — a collision must error, never
+	// serve another tenant's result).
+	fp string
+	// doneSeq orders terminal jobs for cache eviction.
+	doneSeq int
+
+	state       JobState
+	parallelism int
+	result      *JobResult
+	err         error
+	events      []Event
+	restores    int
+	// order is the persisted lane position restored jobs re-queue by.
+	order int
+
+	// wake is closed and replaced on every event append and state
+	// change; stream subscribers wait on it. done closes exactly once,
+	// when the job reaches a terminal state (done/failed). subs counts
+	// attached stream subscribers: eviction skips a job mid-stream so
+	// every open stream can still deliver its terminal status line.
+	wake chan struct{}
+	done chan struct{}
+	subs int
+}
+
+func (j *job) terminal() bool { return j.state == JobDone || j.state == JobFailed }
+
+// Server is the long-running solve service.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond // scheduler + Drain wakeups
+	jobs     map[string]*job
+	lanes    [2][]*job // waiting jobs: 0 = high, 1 = normal
+	used     int       // worker slots held by running jobs
+	running  int       // running job count
+	draining bool
+	closed   bool
+	drainCh  chan struct{} // closed on Drain; wired to runtime Interrupt
+	wg       sync.WaitGroup
+	// doneCount stamps job.doneSeq so eviction drops oldest-settled
+	// first.
+	doneCount int
+
+	// persistKick marks the job table dirty for the persister
+	// goroutine (buffered 1: bursts coalesce); persistStop ends it.
+	// persistSeq (under mu) stamps snapshots; persistMu serializes
+	// writes and guards persistWritten/lastPersistErr so a stale
+	// snapshot can never overwrite a newer one on disk.
+	persistKick    chan struct{}
+	persistStop    chan struct{}
+	persistSeq     uint64
+	persistMu      sync.Mutex
+	persistWritten uint64
+	lastPersistErr error
+}
+
+// New creates a Server, restores persisted jobs from Config.StateDir
+// (completed results become cache entries, interrupted jobs re-queue
+// and resume from their checkpoints), and starts the scheduler.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:         cfg.withDefaults(),
+		jobs:        make(map[string]*job),
+		drainCh:     make(chan struct{}),
+		persistKick: make(chan struct{}, 1),
+		persistStop: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.restore(); err != nil {
+		return nil, err
+	}
+	if s.cfg.StateDir != "" {
+		s.wg.Add(1)
+		go s.persister()
+	}
+	s.wg.Add(1)
+	go s.scheduler()
+	return s, nil
+}
+
+// laneOf maps a priority to its queue lane.
+func laneOf(priority string) int {
+	if priority == PriorityHigh {
+		return 0
+	}
+	return 1
+}
+
+// Submit admits one solve request. Duplicate submissions (equal
+// result-determining fields) coalesce: a completed duplicate answers
+// from the cache, an in-flight one attaches to the running/queued job.
+// A failed duplicate is retried as a fresh attempt.
+func (s *Server) Submit(req SolveRequest) (JobStatus, error) {
+	req, err := req.normalize()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	g, err := req.Graph.Build()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if _, err := s.cfg.Resolve(req); err != nil {
+		return JobStatus{}, err
+	}
+	fp := rt.GraphFingerprint(g)
+	id := req.key(fp)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return JobStatus{}, ErrDraining
+	}
+	if j, ok := s.jobs[id]; ok {
+		if !sameSolve(j, fp, req) {
+			// A 64-bit digest collision between distinct solves: error
+			// out rather than hand one tenant another tenant's result.
+			return JobStatus{}, fmt.Errorf("serve: job key collision on %s: submission does not match the stored request (vary the seed to re-key)", id)
+		}
+		switch j.state {
+		case JobDone:
+			st := s.statusLocked(j)
+			st.Cached = true
+			return st, nil
+		case JobQueued, JobRunning:
+			st := s.statusLocked(j)
+			st.Coalesced = true
+			return st, nil
+		case JobFailed:
+			// Retry: reset the record — adopting the new submission's
+			// scheduling fields (priority, parallelism) — and enqueue.
+			// The event log is kept so the retry's events continue the
+			// sequence: attached subscribers never observe a seq reset
+			// or a spliced stream.
+			if s.waiting() >= s.cfg.QueueLimit {
+				return JobStatus{}, ErrQueueFull
+			}
+			j.req = req
+			j.parallelism = s.clampParallelism(req.Parallelism)
+			j.state = JobQueued
+			j.err = nil
+			j.result = nil
+			j.done = make(chan struct{})
+			s.enqueueLocked(j)
+			return s.statusLocked(j), nil
+		}
+	}
+	if s.waiting() >= s.cfg.QueueLimit {
+		return JobStatus{}, ErrQueueFull
+	}
+	j := &job{
+		id:          id,
+		req:         req,
+		g:           g,
+		fp:          fp,
+		state:       JobQueued,
+		parallelism: s.clampParallelism(req.Parallelism),
+		wake:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.enqueueLocked(j)
+	return s.statusLocked(j), nil
+}
+
+// sameSolve reports whether a submission describes the stored job's
+// solve: equal graph fingerprint and equal result-determining fields.
+func sameSolve(j *job, fp string, req SolveRequest) bool {
+	return j.fp == fp &&
+		j.req.MaxQubits == req.MaxQubits &&
+		j.req.Solver == req.Solver &&
+		j.req.Merge == req.Merge &&
+		j.req.Layers == req.Layers &&
+		j.req.Seed == req.Seed
+}
+
+// clampParallelism applies the per-job budget clamp.
+func (s *Server) clampParallelism(want int) int {
+	if want <= 0 || want > s.cfg.MaxJobParallelism {
+		return s.cfg.MaxJobParallelism
+	}
+	return want
+}
+
+// waiting counts queued jobs across lanes. Caller holds mu.
+func (s *Server) waiting() int { return len(s.lanes[0]) + len(s.lanes[1]) }
+
+// enqueueLocked appends a queued job to its lane, persists, and kicks
+// the scheduler. Caller holds mu.
+func (s *Server) enqueueLocked(j *job) {
+	lane := laneOf(j.req.Priority)
+	s.lanes[lane] = append(s.lanes[lane], j)
+	s.persistLocked()
+	s.cond.Broadcast()
+}
+
+// Job returns the status snapshot of one job.
+func (s *Server) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs lists every known job (queued, running, done, failed).
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	return out
+}
+
+// statusLocked snapshots a job. Caller holds mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Priority:    j.req.Priority,
+		Parallelism: j.parallelism,
+		Events:      len(j.events),
+		Restores:    j.restores,
+		Result:      j.result,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Draining reports whether Drain has started (health endpoints and
+// tests sequencing drains use this).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully stops the service: no further submission is
+// admitted, no queued job starts, and every running job is
+// interrupted through the runtime's Interrupt channel — its completed
+// sub-solves are already in the job's checkpoint, so the job parks as
+// queued and a Server restarted on the same StateDir resumes it
+// bit-identically. Drain blocks until all running jobs have parked
+// and the state is persisted. Idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+		s.cond.Broadcast()
+		// Jobs that will never start this generation are settled the
+		// moment draining begins: wake their stream subscribers so
+		// they receive the parked status line instead of hanging.
+		// (Running jobs wake their subscribers when they park.)
+		for _, j := range s.jobs {
+			if j.state != JobRunning {
+				s.bumpLocked(j)
+			}
+		}
+	}
+	for s.running > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	// Synchronous write: the drained state must be durable before the
+	// caller proceeds to exit/restart — this is the checkpoint
+	// handoff.
+	if s.cfg.StateDir != "" {
+		s.persistNow()
+	}
+}
+
+// Close drains and stops the scheduler and persister. The Server is
+// unusable after.
+func (s *Server) Close() {
+	s.Drain()
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.persistStop)
+	}
+	s.wg.Wait()
+}
+
+// scheduler grants worker slots to waiting jobs: high lane before
+// normal lane, strict FIFO within a lane, with slot reservation — when
+// the head job's budget exceeds the free slots, freed slots accumulate
+// for it instead of backfilling narrower jobs behind it. Head-of-line
+// blocking is the price; the payoff is that a wide (or high-priority)
+// job can never be starved by a stream of narrow ones.
+func (s *Server) scheduler() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.closed && !s.draining && !s.startableLocked() {
+			s.cond.Wait()
+		}
+		if s.closed || s.draining {
+			return
+		}
+		j := s.takeLocked()
+		j.state = JobRunning
+		s.used += j.parallelism
+		s.running++
+		s.bumpLocked(j)
+		s.persistLocked()
+		s.wg.Add(1)
+		go s.runJob(j)
+	}
+}
+
+// headLocked returns the job the slot reservation applies to: the
+// head of the high lane, else the head of the normal lane. Caller
+// holds mu.
+func (s *Server) headLocked() *job {
+	for lane := range s.lanes {
+		if len(s.lanes[lane]) > 0 {
+			return s.lanes[lane][0]
+		}
+	}
+	return nil
+}
+
+// startableLocked reports whether the reserved head job fits the free
+// slots. Caller holds mu.
+func (s *Server) startableLocked() bool {
+	j := s.headLocked()
+	return j != nil && j.parallelism <= s.cfg.GlobalParallelism-s.used
+}
+
+// takeLocked removes and returns the reserved head job. Caller holds
+// mu and has checked startableLocked.
+func (s *Server) takeLocked() *job {
+	for lane := range s.lanes {
+		if len(s.lanes[lane]) > 0 {
+			j := s.lanes[lane][0]
+			s.lanes[lane] = s.lanes[lane][1:]
+			return j
+		}
+	}
+	panic("serve: takeLocked without startable job")
+}
+
+// checkpointPath returns the job's on-disk checkpoint ("" without a
+// StateDir: no resume, but solves still run).
+func (s *Server) checkpointPath(j *job) string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.StateDir, j.id+".ckpt")
+}
+
+// runJob executes one job through the task-graph runtime and settles
+// its terminal (or parked) state.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	solvers, err := s.cfg.Resolve(j.req)
+	var res *q2.Result
+	if err == nil {
+		res, err = q2.Solve(j.g, q2.Options{
+			MaxQubits:      j.req.MaxQubits,
+			Solver:         solvers.Sub,
+			MergeSolver:    solvers.Merge,
+			Parallelism:    j.parallelism,
+			Seed:           j.req.Seed,
+			Runtime:        true,
+			CheckpointPath: s.checkpointPath(j),
+			OnRuntimeEvent: func(ev rt.Event) { s.appendEvent(j, ev) },
+			Interrupt:      s.drainCh,
+		})
+	}
+
+	s.mu.Lock()
+	s.used -= j.parallelism
+	s.running--
+	switch {
+	case errors.Is(err, rt.ErrInterrupted):
+		// Drained mid-solve: completed sub-solves are in the
+		// checkpoint; park the job at the FRONT of its lane — it was
+		// admitted before everything still waiting, so the persisted
+		// order resumes it first in the next server generation.
+		j.state = JobQueued
+		lane := laneOf(j.req.Priority)
+		s.lanes[lane] = append([]*job{j}, s.lanes[lane]...)
+	case err != nil:
+		j.state = JobFailed
+		j.err = err
+		s.settleLocked(j)
+	default:
+		j.state = JobDone
+		j.result = resultOf(res)
+		s.settleLocked(j)
+	}
+	s.bumpLocked(j)
+	s.persistLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// settleLocked stamps a terminal job, closes its done channel, and
+// evicts the oldest terminal jobs beyond the retention bound (their
+// checkpoint files go with them — the result lives in the job table).
+// Caller holds mu.
+func (s *Server) settleLocked(j *job) {
+	s.doneCount++
+	j.doneSeq = s.doneCount
+	close(j.done)
+	s.evictLocked()
+}
+
+// evictLocked enforces Config.RetainJobs over terminal jobs. Jobs
+// with attached stream subscribers are spared until those streams
+// close (the bound overshoots transiently by at most the subscriber
+// count). Caller holds mu.
+func (s *Server) evictLocked() {
+	var terminal, evictable []*job
+	for _, j := range s.jobs {
+		if j.terminal() {
+			terminal = append(terminal, j)
+			if j.subs == 0 {
+				evictable = append(evictable, j)
+			}
+		}
+	}
+	excess := len(terminal) - s.cfg.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	if excess > len(evictable) {
+		excess = len(evictable)
+	}
+	sort.Slice(evictable, func(a, b int) bool { return evictable[a].doneSeq < evictable[b].doneSeq })
+	for _, j := range evictable[:excess] {
+		delete(s.jobs, j.id)
+		if path := s.checkpointPath(j); path != "" {
+			os.Remove(path)
+		}
+	}
+}
+
+// addStreamRef pins a job against eviction while a stream is
+// attached; it reports whether the job exists.
+func (s *Server) addStreamRef(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	j.subs++
+	return true
+}
+
+// releaseStreamRef unpins a job when its stream closes.
+func (s *Server) releaseStreamRef(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.subs--
+		s.evictLocked()
+	}
+}
+
+// resultOf converts a runtime result to wire form.
+func resultOf(res *q2.Result) *JobResult {
+	out := &JobResult{
+		Spins:     EncodeSpins(res.Cut.Spins),
+		Value:     res.Cut.Value,
+		Levels:    res.Levels,
+		SubGraphs: res.SubGraphs,
+		IntraCut:  res.IntraCut,
+		CrossCut:  res.CrossCut,
+		Reports:   make([]SubReport, len(res.SubReports)),
+	}
+	for i, r := range res.SubReports {
+		out.Reports[i] = SubReport{Nodes: r.Nodes, Edges: r.Edges, Value: r.Value, Solver: r.Solver}
+	}
+	return out
+}
+
+// EncodeSpins renders a cut assignment in the +/- wire encoding — the
+// checkpoint store's codec, delegated so the service wire format and
+// the drain/resume format can never diverge.
+func EncodeSpins(spins []int8) string { return rt.EncodeSpins(spins) }
+
+// DecodeSpins parses the +/- wire encoding back into a spin vector.
+func DecodeSpins(s string) ([]int8, error) {
+	spins, ok := rt.DecodeSpins(s)
+	if !ok {
+		return nil, fmt.Errorf("serve: malformed spin string %q", s)
+	}
+	return spins, nil
+}
+
+// appendEvent records one runtime event and wakes stream subscribers.
+func (s *Server) appendEvent(j *job, ev rt.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.events = append(j.events, eventFromRuntime(len(j.events)+1, ev))
+	if ev.Restored {
+		j.restores++
+	}
+	s.bumpLocked(j)
+}
+
+// bumpLocked wakes everything waiting on the job's wake channel.
+// Caller holds mu.
+func (s *Server) bumpLocked(j *job) {
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+// eventsFrom snapshots a job's events starting at 0-based index from,
+// together with the channel that signals further progress and whether
+// the job is settled (terminal, or parked by a drain) — once settled
+// with no new events, a stream should emit its status line and end.
+func (s *Server) eventsFrom(id string, from int) (evs []Event, wake <-chan struct{}, status JobStatus, settled bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, JobStatus{}, false, ErrNotFound
+	}
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	settled = j.terminal() || (s.draining && j.state != JobRunning)
+	return evs, j.wake, s.statusLocked(j), settled, nil
+}
+
+// Done exposes the job's terminal-completion channel (closed when the
+// job reaches done/failed; a drained parked job keeps it open).
+func (s *Server) Done(id string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.done, nil
+}
+
+// String summarizes the server for logs.
+func (s *Server) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("serve.Server{jobs: %d, waiting: %d, running: %d, slots: %d/%d}",
+		len(s.jobs), s.waiting(), s.running, s.used, s.cfg.GlobalParallelism)
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"fmt"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/qaoa"
+	q2 "qaoa2/internal/qaoa2"
+	rt "qaoa2/internal/runtime"
+)
+
+// EdgeSpec is one weighted edge of a submitted instance.
+type EdgeSpec struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	W float64 `json:"w"`
+}
+
+// GraphSpec is the wire form of a MaxCut instance.
+type GraphSpec struct {
+	Nodes int        `json:"nodes"`
+	Edges []EdgeSpec `json:"edges"`
+}
+
+// GraphSpecOf converts a graph into its wire form (the client-side
+// counterpart of GraphSpec.Build).
+func GraphSpecOf(g *graph.Graph) GraphSpec {
+	spec := GraphSpec{Nodes: g.N(), Edges: make([]EdgeSpec, 0, g.M())}
+	for _, e := range g.Edges() {
+		spec.Edges = append(spec.Edges, EdgeSpec{I: e.I, J: e.J, W: e.W})
+	}
+	return spec
+}
+
+// Build materializes the instance.
+func (s GraphSpec) Build() (*graph.Graph, error) {
+	if s.Nodes <= 0 {
+		return nil, fmt.Errorf("serve: graph needs nodes >= 1, got %d", s.Nodes)
+	}
+	g := graph.New(s.Nodes)
+	for _, e := range s.Edges {
+		if err := g.AddEdge(e.I, e.J, e.W); err != nil {
+			return nil, fmt.Errorf("serve: bad edge (%d,%d): %w", e.I, e.J, err)
+		}
+	}
+	return g, nil
+}
+
+// Priority lanes of the job queue. High-priority jobs are admitted to
+// a worker slot before any waiting normal job; within a lane admission
+// is FIFO.
+const (
+	PriorityNormal = "normal"
+	PriorityHigh   = "high"
+)
+
+// SolveRequest is one solve submission (the POST /v1/solve body).
+// Graph, MaxQubits, Solver, Merge, Layers and Seed determine the
+// result and form the job's cache key; Priority and Parallelism only
+// shape scheduling, so duplicates that differ in them still coalesce
+// (the task-graph runtime returns bit-identical results at every
+// parallelism).
+type SolveRequest struct {
+	Graph     GraphSpec `json:"graph"`
+	MaxQubits int       `json:"maxQubits,omitempty"`
+	// Solver/Merge name the sub-graph and merge-graph solvers
+	// ("qaoa", "gw", "best", "anneal", "random", "one-exchange",
+	// "exact"); defaults mirror cmd/qaoa2 ("best" / "gw").
+	Solver string `json:"solver,omitempty"`
+	Merge  string `json:"merge,omitempty"`
+	// Layers is the QAOA ansatz depth p for qaoa/best solvers
+	// (0 = solver default).
+	Layers int    `json:"layers,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Priority selects the queue lane ("normal" default, "high").
+	Priority string `json:"priority,omitempty"`
+	// Parallelism is the requested runtime worker budget; it is
+	// clamped to the server's per-job cap (0 = the full cap).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// normalize applies defaults and validates everything except the graph
+// (built separately so the fingerprint is computed once).
+func (r SolveRequest) normalize() (SolveRequest, error) {
+	if r.MaxQubits <= 0 {
+		r.MaxQubits = 16
+	}
+	if r.Solver == "" {
+		r.Solver = "best"
+	}
+	if r.Merge == "" {
+		r.Merge = "gw"
+	}
+	switch r.Priority {
+	case "":
+		r.Priority = PriorityNormal
+	case PriorityNormal, PriorityHigh:
+	default:
+		return r, fmt.Errorf("serve: unknown priority %q (want %q or %q)",
+			r.Priority, PriorityNormal, PriorityHigh)
+	}
+	if r.Parallelism < 0 {
+		return r, fmt.Errorf("serve: negative parallelism %d", r.Parallelism)
+	}
+	return r, nil
+}
+
+// key fingerprints the result-determining fields of a normalized
+// request over the given graph fingerprint. It is the job ID: two
+// submissions with equal keys are the same solve. The identity is the
+// task-graph runtime's checkpoint-header fingerprint, so the cache
+// key and the on-disk resume match can never drift apart.
+func (r SolveRequest) key(graphFP string) string {
+	return rt.Header{
+		Graph:     graphFP,
+		Seed:      r.Seed,
+		MaxQubits: r.MaxQubits,
+		Solver:    r.Solver,
+		Merge:     r.Merge,
+		Config:    fmt.Sprintf("layers:%d", r.Layers),
+	}.Fingerprint()
+}
+
+// Solvers binds a request to the concrete sub-graph and merge-graph
+// solvers the runtime will run.
+type Solvers struct {
+	Sub   q2.SubSolver
+	Merge q2.SubSolver
+}
+
+// ResolveSolvers is the default solver registry: the same names
+// cmd/qaoa2 accepts. Config.Resolve overrides it (tests inject gated
+// or instrumented solvers there).
+//
+// NOTE: cmd/qaoa2's pickSolver is the CLI-side sibling of this
+// registry — it additionally threads CLI-only knobs (iters, rhobeg,
+// shots, backend) that have no wire-format field here. A solver name
+// added to one must be added to the other.
+func ResolveSolvers(req SolveRequest) (Solvers, error) {
+	sub, err := solverByName(req.Solver, req)
+	if err != nil {
+		return Solvers{}, err
+	}
+	merge, err := solverByName(req.Merge, req)
+	if err != nil {
+		return Solvers{}, err
+	}
+	return Solvers{Sub: sub, Merge: merge}, nil
+}
+
+func solverByName(name string, req SolveRequest) (q2.SubSolver, error) {
+	qopts := qaoa.Options{Layers: req.Layers, Seed: req.Seed}
+	switch name {
+	case "qaoa":
+		return q2.QAOASolver{Opts: qopts}, nil
+	case "gw":
+		return q2.GWSolver{}, nil
+	case "best":
+		return q2.BestOfSolver{Solvers: []q2.SubSolver{
+			q2.QAOASolver{Opts: qopts}, q2.GWSolver{},
+		}}, nil
+	case "anneal":
+		return q2.AnnealSolver{}, nil
+	case "random":
+		return q2.RandomSolver{}, nil
+	case "one-exchange":
+		return q2.OneExchangeSolver{}, nil
+	case "exact":
+		return q2.ExactSolver{}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown solver %q", name)
+	}
+}
+
+// Event is one task-completion progress event of a job, streamed over
+// NDJSON at GET /v1/jobs/{id}/events. Seq is 1-based and strictly
+// increasing per job; subscribers that attach mid-run replay the
+// prefix first, so every subscriber observes the identical sequence.
+type Event struct {
+	Seq      int     `json:"seq"`
+	Task     string  `json:"task"`
+	Kind     string  `json:"kind"`
+	Stage    int     `json:"stage"`
+	Index    int     `json:"index"`
+	Nodes    int     `json:"nodes"`
+	Edges    int     `json:"edges"`
+	Value    float64 `json:"value,omitempty"`
+	Solver   string  `json:"solver,omitempty"`
+	Restored bool    `json:"restored,omitempty"`
+}
+
+// eventFromRuntime stamps a runtime event with its per-job sequence
+// number.
+func eventFromRuntime(seq int, ev rt.Event) Event {
+	return Event{
+		Seq:      seq,
+		Task:     ev.Task,
+		Kind:     ev.Kind,
+		Stage:    ev.Stage,
+		Index:    ev.Index,
+		Nodes:    ev.Nodes,
+		Edges:    ev.Edges,
+		Value:    ev.Value,
+		Solver:   ev.Solver,
+		Restored: ev.Restored,
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"qaoa2/internal/rqaoa"
 	"qaoa2/internal/runtime"
 	"qaoa2/internal/sdp"
+	"qaoa2/internal/serve"
 	"qaoa2/internal/synth"
 )
 
@@ -240,6 +241,54 @@ func OpenCheckpoint(path string, h CheckpointHeader) (*Checkpoint, error) {
 // GraphFingerprint hashes a graph instance for CheckpointHeader.Graph.
 func GraphFingerprint(g *Graph) string { return runtime.GraphFingerprint(g) }
 
+// Solve service (the long-running multi-tenant daemon layer behind
+// cmd/qaoa2d; see DESIGN.md). The server owns a bounded priority job
+// queue with admission control over the task-graph runtime's worker
+// budgets, a graph-fingerprint result cache that coalesces duplicate
+// submissions, NDJSON progress streaming, and graceful drain with
+// checkpoint handoff.
+type (
+	// ServeConfig configures NewServeServer.
+	ServeConfig = serve.Config
+	// ServeServer is the long-running solve service.
+	ServeServer = serve.Server
+	// ServeClient is the Go client against a running qaoa2d daemon.
+	ServeClient = serve.Client
+	// SolveRequest is one solve submission (POST /v1/solve body).
+	SolveRequest = serve.SolveRequest
+	// GraphSpec is the wire form of a MaxCut instance.
+	GraphSpec = serve.GraphSpec
+	// EdgeSpec is one weighted edge of a GraphSpec.
+	EdgeSpec = serve.EdgeSpec
+	// ServeEvent is one streamed job-progress event.
+	ServeEvent = serve.Event
+	// JobStatus is the externally visible job snapshot.
+	JobStatus = serve.JobStatus
+	// JobResult is a completed solve in wire form.
+	JobResult = serve.JobResult
+	// JobState is the job lifecycle state.
+	JobState = serve.JobState
+)
+
+// Job lifecycle states.
+const (
+	// JobQueued jobs wait for a worker-slot grant.
+	JobQueued = serve.JobQueued
+	// JobRunning jobs hold worker slots and are solving.
+	JobRunning = serve.JobRunning
+	// JobDone jobs completed; the result is cached.
+	JobDone = serve.JobDone
+	// JobFailed jobs errored; resubmission retries them.
+	JobFailed = serve.JobFailed
+)
+
+// NewServeServer starts the solve service (restoring persisted jobs
+// from cfg.StateDir when set).
+func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
+
+// GraphSpecOf converts a graph into its submission wire form.
+func GraphSpecOf(g *Graph) GraphSpec { return serve.GraphSpecOf(g) }
+
 // HPC workflow front end.
 type (
 	// CoordinatedOptions configures the Fig. 2 coordinator workflow.
@@ -248,6 +297,8 @@ type (
 	CoordinatedResult = hpc.CoordinatedResult
 	// Policy selects a solver per sub-graph at run time.
 	Policy = hpc.Policy
+	// RemoteSolver dispatches sub-graph solves to a qaoa2d daemon.
+	RemoteSolver = hpc.RemoteSolver
 )
 
 // CoordinatedSolve runs QAOA² as a coordinator/worker message-passing

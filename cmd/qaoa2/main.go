@@ -3,11 +3,16 @@
 // workflow does (quantum, classical, or best-of), and prints the
 // decomposition and the resulting cut.
 //
+// Solver names resolve through the solver registry (internal/solver),
+// the same table the qaoa2d daemon accepts over HTTP.
+//
 // Usage:
 //
 //	qaoa2 -nodes 300 -prob 0.1 -solver best -maxqubits 12
 //	qaoa2 -in instance.txt -solver gw
-//	qaoa2 -nodes 200 -solver qaoa -backend dense   # reference gate walk
+//	qaoa2 -nodes 200 -solver qaoa -backend dense    # reference gate walk
+//	qaoa2 -nodes 200 -solver ml-adaptive            # learned QAOA-vs-GW gate
+//	qaoa2 -nodes 200 -solver portfolio -portfolio-budget 500
 package main
 
 import (
@@ -18,8 +23,6 @@ import (
 
 	root "qaoa2"
 	"qaoa2/internal/graph"
-	"qaoa2/internal/qaoa"
-	internal "qaoa2/internal/qaoa2"
 )
 
 func main() {
@@ -40,12 +43,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inFile    = fs.String("in", "", "read the instance from a file instead of generating (format: 'n m' header, 'i j w' lines)")
 		maxQubits = fs.Int("maxqubits", 16, "qubit budget: maximum sub-graph size")
 		backendN  = fs.String("backend", "", "QAOA circuit-execution backend: fused|dense|noisy (default: fused)")
-		solver    = fs.String("solver", "best", "sub-graph solver: qaoa|gw|best|anneal|random|one-exchange")
-		merge     = fs.String("merge", "gw", "merge-graph solver: qaoa|gw|exact")
+		solverN   = fs.String("solver", "best", "sub-graph solver: "+root.SolverNamesHelp())
+		merge     = fs.String("merge", "gw", "merge-graph solver (same registry names)")
 		layers    = fs.Int("layers", 3, "QAOA ansatz layers p")
 		iters     = fs.Int("iters", 0, "optimizer iteration budget (0 = paper's p-dependent default)")
 		rhobeg    = fs.Float64("rhobeg", 0.5, "COBYLA initial trust radius")
 		shots     = fs.Int("shots", 0, "QAOA objective shots (0 = exact expectation, 4096 = paper)")
+		budget    = fs.Int64("portfolio-budget", 0, "portfolio racing deadline in milliseconds (0 = wait for every member)")
 		seed      = fs.Uint64("seed", 1, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,16 +67,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	qopts := qaoa.Options{
-		Layers: *layers, MaxIters: *iters, Rhobeg: *rhobeg, Shots: *shots,
-		Backend: be, Seed: *seed,
+	// Both roles resolve through the one solver registry — the same
+	// table the serve daemon's wire format uses, so every name works
+	// identically from the CLI and from POST /v1/solve. Building here
+	// (once) keeps the exit-code contract: an unknown name is a usage
+	// error (2), not an operational failure (1).
+	spec := func(name string) root.SolverSpec {
+		return root.SolverSpec{
+			Name: name, Layers: *layers, MaxIters: *iters, Rhobeg: *rhobeg,
+			Shots: *shots, Backend: *backendN, BudgetMS: *budget, Seed: *seed,
+		}
 	}
-	sub, err := pickSolver(*solver, qopts)
+	sub, err := root.BuildSolver(spec(*solverN))
 	if err != nil {
 		fmt.Fprintf(stderr, "qaoa2: %v\n", err)
 		return 2
 	}
-	mrg, err := pickSolver(*merge, qopts)
+	mrg, err := root.BuildSolver(spec(*merge))
 	if err != nil {
 		fmt.Fprintf(stderr, "qaoa2: %v\n", err)
 		return 2
@@ -99,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "instance:   %v\n", g)
 	fmt.Fprintf(stdout, "solver:     %s (merge: %s), qubit budget %d\n", sub.Name(), mrg.Name(), *maxQubits)
 	fmt.Fprintf(stdout, "sub-graphs: %d over %d merge level(s)\n", res.SubGraphs, res.Levels)
-	fmt.Fprintf(stdout, "            %s\n", internal.SummarizeSubReports(res.SubReports))
+	fmt.Fprintf(stdout, "            %s\n", root.SummarizeSubReports(res.SubReports))
 	fmt.Fprintf(stdout, "cut value:  %.6f (intra %.6f + cross %.6f)\n", res.Cut.Value, res.IntraCut, res.CrossCut)
 	return 0
 }
@@ -118,31 +129,4 @@ func loadGraph(inFile string, nodes int, prob float64, weighted bool, seed uint6
 		w = root.UniformWeights
 	}
 	return root.ErdosRenyi(nodes, prob, w, root.NewRand(seed)), nil
-}
-
-// pickSolver is the CLI-side sibling of serve.ResolveSolvers: it
-// accepts the same names but threads CLI-only knobs (iters, rhobeg,
-// shots, backend). A solver name added to one must be added to the
-// other.
-func pickSolver(name string, qopts qaoa.Options) (root.SubSolver, error) {
-	switch name {
-	case "qaoa":
-		return root.QAOASolver{Opts: qopts}, nil
-	case "gw":
-		return root.GWSolver{}, nil
-	case "best":
-		return root.BestOfSolver{Solvers: []root.SubSolver{
-			root.QAOASolver{Opts: qopts}, root.GWSolver{},
-		}}, nil
-	case "anneal":
-		return root.AnnealSolver{}, nil
-	case "random":
-		return root.RandomSolver{}, nil
-	case "one-exchange":
-		return internal.OneExchangeSolver{}, nil
-	case "exact":
-		return root.ExactSolver{}, nil
-	default:
-		return nil, fmt.Errorf("unknown solver %q", name)
-	}
 }

@@ -3,10 +3,12 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
-	"qaoa2/internal/qaoa"
+	root "qaoa2"
+	"qaoa2/internal/serve"
 )
 
 // TestUsageErrorsExitTwo pins the CLI contract: usage errors report to
@@ -65,18 +67,57 @@ func TestRunSolvesSmallInstance(t *testing.T) {
 	}
 }
 
-func TestPickSolverAllNames(t *testing.T) {
-	for _, name := range []string{"qaoa", "gw", "best", "anneal", "random", "one-exchange", "exact"} {
-		s, err := pickSolver(name, qaoa.Options{})
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+// TestCLIAndHTTPAcceptIdenticalSolverNames pins the registry dedup:
+// the CLI (-solver) and the HTTP surface (serve.ResolveSolvers, the
+// POST /v1/solve resolver) both delegate to internal/solver, so they
+// accept the IDENTICAL name set — every registered name works
+// end-to-end on both, and an unknown name is rejected by both.
+func TestCLIAndHTTPAcceptIdenticalSolverNames(t *testing.T) {
+	names := root.SolverNames()
+	want := []string{"anneal", "best", "exact", "gw", "ml-adaptive", "one-exchange",
+		"portfolio", "qaoa", "random", "rqaoa", "sdp-gw"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registry names = %v, want %v (update both this test and the docs when adding solvers)", names, want)
+	}
+	for _, name := range names {
+		// HTTP surface: the daemon's resolver must build the name in
+		// both roles.
+		if _, err := serve.ResolveSolvers(serve.SolveRequest{Solver: name, Merge: name, Layers: 1}); err != nil {
+			t.Fatalf("serve rejects registry solver %q: %v", name, err)
 		}
-		if s == nil {
-			t.Fatalf("%s: nil solver", name)
+		// CLI surface: a full tiny solve with the name in both roles.
+		var out, errb strings.Builder
+		args := []string{"-nodes", "8", "-prob", "0.4", "-maxqubits", "8",
+			"-layers", "1", "-iters", "4", "-solver", name, "-merge", name, "-seed", "3"}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("cli rejects registry solver %q: exit %d, stderr:\n%s", name, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "cut value:") {
+			t.Fatalf("%q: no cut in output:\n%s", name, out.String())
 		}
 	}
-	if _, err := pickSolver("bogus", qaoa.Options{}); err == nil {
-		t.Fatal("unknown solver accepted")
+	// And both surfaces reject an unknown name.
+	if _, err := serve.ResolveSolvers(serve.SolveRequest{Solver: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("serve accepted unknown solver (err %v)", err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-solver", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("cli accepted unknown solver: exit %d", code)
+	}
+}
+
+// TestSolverHelpListsRegistry: the -solver flag's help text is derived
+// from the live registry, so it can never go stale.
+func TestSolverHelpListsRegistry(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-h"}, &out, &errb); code != 2 {
+		t.Fatalf("-h exited %d, want 2", code)
+	}
+	for _, name := range root.SolverNames() {
+		if !strings.Contains(errb.String(), name) {
+			t.Fatalf("usage text missing registry solver %q:\n%s", name, errb.String())
+		}
 	}
 }
 

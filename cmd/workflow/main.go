@@ -52,8 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkpoint  = fs.String("checkpoint", "", "checkpoint file for the runtime solve (resumes when present)")
 
 		submit      = fs.String("submit", "", "qaoa2d base URL: submit the solve remotely instead of running the experiments (e.g. http://127.0.0.1:8817)")
-		solveSolver = fs.String("solve-solver", "anneal", "sub-graph solver name for remote submission")
-		solveMerge  = fs.String("solve-merge", "anneal", "merge solver name for remote submission")
+		solveSolver = fs.String("solve-solver", "anneal", "sub-graph solver for the runtime solve, local or remote (registry names: "+qaoa2.SolverNamesHelp()+")")
+		solveMerge  = fs.String("solve-merge", "anneal", "merge solver for the runtime solve (same registry names)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -114,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *solveNodes > 0 {
 		fmt.Fprintln(stdout)
 		if err := runtimeDemo(stdout, *solveNodes, *solveProb, *solveQubits,
-			*solvePar, *solveSeed, *checkpoint); err != nil {
+			*solvePar, *solveSeed, *checkpoint, *solveSolver, *solveMerge); err != nil {
 			fmt.Fprintf(stderr, "workflow: %v\n", err)
 			return 1
 		}
@@ -171,11 +171,14 @@ func submitDemo(w io.Writer, base string, nodes int, p float64, maxQubits, paral
 
 // runtimeDemo runs one QAOA² solve through the asynchronous task-graph
 // runtime (the real counterpart of the simulated schedule above),
-// streaming completed tasks and reporting checkpoint restores.
+// streaming completed tasks and reporting checkpoint restores. Solver
+// names resolve through the shared registry, so the local demo and the
+// remote submission accept the identical name set.
 func runtimeDemo(w io.Writer, nodes int, p float64, maxQubits, parallelism int,
-	seed uint64, checkpoint string) error {
+	seed uint64, checkpoint, solverName, mergeName string) error {
 	g := qaoa2.ErdosRenyi(nodes, p, qaoa2.Unweighted, qaoa2.NewRand(seed))
-	fmt.Fprintf(w, "task-graph runtime solve on %v (cap %d qubits", g, maxQubits)
+	fmt.Fprintf(w, "task-graph runtime solve on %v (cap %d qubits, solver %s, merge %s",
+		g, maxQubits, solverName, mergeName)
 	if checkpoint != "" {
 		fmt.Fprintf(w, ", checkpoint %s", checkpoint)
 	}
@@ -183,12 +186,10 @@ func runtimeDemo(w io.Writer, nodes int, p float64, maxQubits, parallelism int,
 
 	solves, restores := 0, 0
 	res, err := qaoa2.Solve(g, qaoa2.Options{
-		MaxQubits:   maxQubits,
-		Parallelism: parallelism,
-		Solver: qaoa2.BestOfSolver{Solvers: []qaoa2.SubSolver{
-			qaoa2.AnnealSolver{}, qaoa2.OneExchangeSolver{},
-		}},
-		MergeSolver:    qaoa2.AnnealSolver{},
+		MaxQubits:      maxQubits,
+		Parallelism:    parallelism,
+		SolverSpec:     qaoa2.SolverSpec{Name: solverName, Seed: seed},
+		MergeSpec:      qaoa2.SolverSpec{Name: mergeName, Seed: seed},
 		Seed:           seed,
 		Runtime:        true,
 		CheckpointPath: checkpoint,

@@ -68,19 +68,37 @@ func TestSubmitDemoAgainstLiveService(t *testing.T) {
 	if !strings.Contains(second.String(), "done: cut ") {
 		t.Fatalf("cached resubmission output:\n%s", second.String())
 	}
+
+	// The registry's adaptive solvers are selectable by name over the
+	// same remote path (ISSUE 5 acceptance: cmd/workflow -submit).
+	for _, name := range []string{"ml-adaptive", "portfolio"} {
+		var buf strings.Builder
+		if err := submitDemo(&buf, hs.URL, 30, 0.2, 8, 2, 9, name, "gw"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "done: cut ") {
+			t.Fatalf("%s submission incomplete:\n%s", name, buf.String())
+		}
+	}
+	// And a bogus name fails fast with the registry's error.
+	var bogus strings.Builder
+	if err := submitDemo(&bogus, hs.URL, 30, 0.2, 8, 2, 9, "bogus", "gw"); err == nil ||
+		!strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("bogus solver err = %v, want registry rejection", err)
+	}
 }
 
 func TestRuntimeDemoWithCheckpointResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "demo.ckpt")
 	var first strings.Builder
-	if err := runtimeDemo(&first, 40, 0.15, 8, 2, 7, ckpt); err != nil {
+	if err := runtimeDemo(&first, 40, 0.15, 8, 2, 7, ckpt, "best", "anneal"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(first.String(), "0 restored from checkpoint") {
 		t.Fatalf("fresh run reported restores:\n%s", first.String())
 	}
 	var second strings.Builder
-	if err := runtimeDemo(&second, 40, 0.15, 8, 2, 7, ckpt); err != nil {
+	if err := runtimeDemo(&second, 40, 0.15, 8, 2, 7, ckpt, "best", "anneal"); err != nil {
 		t.Fatal(err)
 	}
 	out := second.String()

@@ -34,7 +34,40 @@ func SelectorDataset(records []GridRecord) []mlselect.Sample {
 // accuracy. (Without the shuffle the hold-out set would be the sweep's
 // tail — a single weighting class — and the accuracy meaningless.)
 func TrainSelector(records []GridRecord, seed uint64) (*mlselect.Model, float64, error) {
-	samples := SelectorDataset(records)
+	return trainOn(SelectorDataset(records), seed)
+}
+
+// SolverSelectorDataset converts grid-search records into samples over
+// GRAPH FEATURES ONLY — the form internal/solver's ml-adaptive gate
+// consumes at dispatch time, when no (layers, rhobeg) choice has been
+// made yet. Records for the same instance collapse onto identical
+// feature rows with possibly different labels; the logistic fit
+// absorbs that as the instance's empirical QAOA win rate.
+func SolverSelectorDataset(records []GridRecord) []mlselect.Sample {
+	out := make([]mlselect.Sample, 0, len(records))
+	for _, r := range records {
+		if r.Graph == nil {
+			continue
+		}
+		y := 0
+		if r.QAOAWins() {
+			y = 1
+		}
+		out = append(out, mlselect.Sample{X: mlselect.Features(r.Graph), Y: y})
+	}
+	return out
+}
+
+// TrainSolverSelector is TrainSelector over the graph-features-only
+// dataset: the model that gates internal/solver's "ml-adaptive"
+// dispatch (solver.DefaultSelector ships a pretrained copy; regenerate
+// it with `gridsearch -selector`).
+func TrainSolverSelector(records []GridRecord, seed uint64) (*mlselect.Model, float64, error) {
+	return trainOn(SolverSelectorDataset(records), seed)
+}
+
+// trainOn shuffles, splits 80/20, trains, and scores.
+func trainOn(samples []mlselect.Sample, seed uint64) (*mlselect.Model, float64, error) {
 	if len(samples) < 10 {
 		return nil, 0, fmt.Errorf("experiments: too few samples (%d) to train the selector", len(samples))
 	}

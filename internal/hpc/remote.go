@@ -27,10 +27,19 @@ import (
 type RemoteSolver struct {
 	// Client reaches the daemon.
 	Client *serve.Client
-	// Solver/Merge name the remote registry solvers (default
-	// "anneal"/"anneal" — deterministic and cheap; set "qaoa" to spend
-	// remote quantum simulation).
+	// Solver/Merge name the solvers the daemon resolves through the
+	// shared registry (internal/solver) — any registered name,
+	// including "ml-adaptive" and "portfolio" (default
+	// "anneal"/"anneal", deterministic and cheap; set "qaoa" to spend
+	// remote quantum simulation). The DAEMON's registry is the
+	// authority: names are deliberately not pre-validated here, so a
+	// daemon that registered extra solvers at startup accepts names
+	// this process has never heard of; a genuine typo comes back as
+	// the daemon's "unknown solver" rejection.
 	Solver, Merge string
+	// Layers forwards the QAOA ansatz depth for quantum-bearing
+	// remote solvers (0 = daemon default).
+	Layers int
 	// MaxQubits is the remote device budget; 0 lets every sub-graph
 	// solve directly (budget = sub-graph size). A smaller budget makes
 	// the daemon divide-and-conquer the sub-graph again.
@@ -54,9 +63,9 @@ func (s RemoteSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) 
 	if s.Client == nil {
 		return maxcut.Cut{}, fmt.Errorf("hpc: RemoteSolver needs a Client")
 	}
-	solver, merge := s.Solver, s.Merge
-	if solver == "" {
-		solver = "anneal"
+	sub, merge := s.Solver, s.Merge
+	if sub == "" {
+		sub = "anneal"
 	}
 	if merge == "" {
 		merge = "anneal"
@@ -68,8 +77,9 @@ func (s RemoteSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) 
 	req := serve.SolveRequest{
 		Graph:     serve.GraphSpecOf(g),
 		MaxQubits: maxQubits,
-		Solver:    solver,
+		Solver:    sub,
 		Merge:     merge,
+		Layers:    s.Layers,
 		Seed:      r.Uint64(),
 		Priority:  s.Priority,
 	}

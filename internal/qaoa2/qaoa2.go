@@ -13,6 +13,7 @@ import (
 	"qaoa2/internal/qaoa"
 	"qaoa2/internal/rng"
 	rt "qaoa2/internal/runtime"
+	"qaoa2/internal/solver"
 )
 
 // Options configures Solve.
@@ -22,12 +23,20 @@ type Options struct {
 	MaxQubits int
 	// Solver handles first-level sub-graphs (default QAOA with paper
 	// defaults). The paper's run-time decision mechanism plugs in
-	// GWSolver or BestOfSolver here.
+	// GWSolver, BestOfSolver, or any registry solver here.
 	Solver SubSolver
 	// MergeSolver handles merge graphs on every recursion level
 	// (default: same as Solver). The paper chooses the classical
 	// solution for further iterations in the Fig. 4 runs.
 	MergeSolver SubSolver
+	// SolverSpec names a registry solver (internal/solver) to build
+	// when Solver is nil — the declarative, JSON-serializable route the
+	// serve daemon and CLIs use. Its canonical form is folded into
+	// checkpoint fingerprints, so a resumed run re-binds to the
+	// identical solver configuration. Ignored when Solver is set.
+	SolverSpec solver.Spec
+	// MergeSpec is SolverSpec's counterpart for MergeSolver.
+	MergeSpec solver.Spec
 	// Backend selects the circuit-execution backend of the DEFAULT QAOA
 	// sub- and merge solvers (nil = backend.Default, the fused path).
 	// It is ignored when an explicit Solver/MergeSolver is provided —
@@ -78,28 +87,58 @@ type Options struct {
 	Interrupt <-chan struct{}
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
 	if o.MaxQubits <= 0 {
 		o.MaxQubits = 16
+	}
+	// A spec only describes the solver it built: when an explicit
+	// Solver overrides it, drop the spec so checkpoint fingerprints
+	// derive from the solver actually running.
+	if o.Solver != nil {
+		o.SolverSpec = solver.Spec{}
+	} else if o.SolverSpec.Name != "" {
+		s, err := solver.Build(o.SolverSpec)
+		if err != nil {
+			return o, fmt.Errorf("qaoa2: %w", err)
+		}
+		o.Solver = s
+	}
+	if o.MergeSolver != nil {
+		o.MergeSpec = solver.Spec{}
+	} else if o.MergeSpec.Name != "" {
+		s, err := solver.Build(o.MergeSpec)
+		if err != nil {
+			return o, fmt.Errorf("qaoa2: merge: %w", err)
+		}
+		o.MergeSolver = s
 	}
 	if o.Solver == nil {
 		o.Solver = QAOASolver{Opts: qaoa.Options{Backend: o.Backend, Restarts: o.Restarts}}
 	}
 	if o.MergeSolver == nil {
 		o.MergeSolver = o.Solver
+		o.MergeSpec = o.SolverSpec
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	return o
+	return o, nil
 }
 
 // SubReport records one solved sub-graph at the first level.
 type SubReport struct {
-	Nodes  int     // sub-graph size
-	Edges  int     // sub-graph edge count
-	Value  float64 // cut value found by the solver
-	Solver string  // solver name
+	Nodes int     // sub-graph size
+	Edges int     // sub-graph edge count
+	Value float64 // cut value found by the solver
+	// Solver names the solver that actually produced the kept cut:
+	// for composite strategies (best, portfolio, ml-adaptive) this is
+	// the WINNING member, so the report exposes the per-sub-graph
+	// quantum-vs-classical decision directly.
+	Solver string
+	// Attempts details every inner try of a composite solve, with
+	// per-attempt timing (nil for plain solvers, and for solves
+	// restored from a checkpoint — timing is telemetry, not identity).
+	Attempts []solver.Attempt
 }
 
 // Result reports a QAOA² run.
@@ -120,7 +159,10 @@ type Result struct {
 
 // Solve runs the QAOA² divide-and-conquer on g.
 func Solve(g *graph.Graph, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	n := g.N()
 	if n == 0 {
 		return &Result{Cut: maxcut.Cut{Spins: []int8{}, Value: 0}}, nil
@@ -134,7 +176,7 @@ func Solve(g *graph.Graph, opts Options) (*Result, error) {
 	// Small enough for the device: a single direct solve (unless an
 	// explicit partition was requested).
 	if n <= opts.MaxQubits && opts.Partition == nil {
-		cut, err := opts.Solver.SolveSub(g, rng.New(opts.Seed))
+		cut, rep, err := solver.SolveAttributed(opts.Solver, g, rng.New(opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +184,8 @@ func Solve(g *graph.Graph, opts Options) (*Result, error) {
 			Cut:       cut,
 			SubGraphs: 1,
 			SubReports: []SubReport{{
-				Nodes: n, Edges: g.M(), Value: cut.Value, Solver: opts.Solver.Name(),
+				Nodes: n, Edges: g.M(), Value: cut.Value,
+				Solver: rep.Winner, Attempts: rep.Attempts,
 			}},
 			IntraCut: cut.Value,
 		}, nil
@@ -150,7 +193,6 @@ func Solve(g *graph.Graph, opts Options) (*Result, error) {
 
 	parts := opts.Partition
 	if parts == nil {
-		var err error
 		parts, err = partition.SizeCapped(g, opts.MaxQubits)
 		if err != nil {
 			return nil, err
@@ -190,7 +232,8 @@ func Solve(g *graph.Graph, opts Options) (*Result, error) {
 				results[i] = subResult{err: err}
 				return
 			}
-			cut, err := opts.Solver.SolveSub(sub, rng.New(opts.Seed).Split(uint64(i)+0x9e37))
+			cut, rep, err := solver.SolveAttributed(opts.Solver, sub,
+				rng.New(opts.Seed).Split(uint64(i)+0x9e37))
 			if err != nil {
 				results[i] = subResult{err: fmt.Errorf("qaoa2: sub-graph %d: %w", i, err)}
 				return
@@ -199,7 +242,8 @@ func Solve(g *graph.Graph, opts Options) (*Result, error) {
 				cut:     cut,
 				mapping: mapping,
 				report: SubReport{
-					Nodes: sub.N(), Edges: sub.M(), Value: cut.Value, Solver: opts.Solver.Name(),
+					Nodes: sub.N(), Edges: sub.M(), Value: cut.Value,
+					Solver: rep.Winner, Attempts: rep.Attempts,
 				},
 			}
 		}(i, part)
@@ -251,7 +295,10 @@ func Solve(g *graph.Graph, opts Options) (*Result, error) {
 // sub-solution over the SAME node order. Exposed so distributed drivers
 // (internal/hpc's coordinator workflow) can reuse the merge step.
 func MergeSubSolutions(g *graph.Graph, parts [][]int, cuts []maxcut.Cut, opts Options) (maxcut.Cut, int, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return maxcut.Cut{}, 0, err
+	}
 	n := g.N()
 	if len(parts) != len(cuts) {
 		return maxcut.Cut{}, 0, fmt.Errorf("qaoa2: %d parts but %d cuts", len(parts), len(cuts))

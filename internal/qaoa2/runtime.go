@@ -5,6 +5,7 @@ import (
 
 	"qaoa2/internal/graph"
 	rt "qaoa2/internal/runtime"
+	"qaoa2/internal/solver"
 )
 
 // solveRuntime executes the solve through the asynchronous task-graph
@@ -42,18 +43,29 @@ func solveRuntime(g *graph.Graph, opts Options) (*Result, error) {
 }
 
 // configTag fingerprints solver configuration that Solver.Name() does
-// not reflect — the backend/restart options feeding the default
-// solvers AND the full printed state of explicit solvers (a
-// QAOASolver with Layers 2 and one with Layers 5 share the name
-// "qaoa" but must never share a checkpoint). %#v includes concrete
-// type names and nested option structs; anything it renders
-// unstably (e.g. function-valued fields print as addresses) errs
-// toward NOT resuming, never toward resuming wrongly.
+// not reflect, so two configurations sharing a name never share a
+// checkpoint. Registry-built solvers (Options.SolverSpec) fingerprint
+// by their canonical spec JSON — stable across processes, so the
+// serve daemon's resume re-binds to the identical solver. Explicitly
+// constructed solvers fall back to their full printed state; anything
+// %#v renders unstably (e.g. function-valued fields print as
+// addresses) errs toward NOT resuming, never toward resuming wrongly.
 func configTag(opts Options) string {
 	backendName := "default"
 	if opts.Backend != nil {
 		backendName = opts.Backend.Name()
 	}
-	return fmt.Sprintf("backend:%s|restarts:%d|solver:%#v|merge:%#v",
-		backendName, opts.Restarts, opts.Solver, opts.MergeSolver)
+	return fmt.Sprintf("backend:%s|restarts:%d|solver:%s|merge:%s",
+		backendName, opts.Restarts,
+		solverTag(opts.SolverSpec, opts.Solver),
+		solverTag(opts.MergeSpec, opts.MergeSolver))
+}
+
+// solverTag fingerprints one solver role: canonical spec when the
+// solver came from the registry, printed state otherwise.
+func solverTag(spec solver.Spec, s SubSolver) string {
+	if spec.Name != "" {
+		return "spec:" + spec.Canonical()
+	}
+	return fmt.Sprintf("%#v", s)
 }

@@ -2,147 +2,47 @@
 // repository's primary contribution: large MaxCut instances are divided
 // into qubit-sized sub-graphs by greedy modularity, the sub-graphs are
 // solved in parallel by a pluggable solver — simulated QAOA, classical
-// Goemans-Williamson, or the best of the two, the run-time choice the
-// paper's SLURM workflow enables — and the sub-solutions are merged by
-// solving a signed contracted graph, recursively if it still exceeds
-// the qubit budget.
+// Goemans-Williamson, or a composite strategy making the run-time
+// quantum-or-classical choice the paper's SLURM workflow enables — and
+// the sub-solutions are merged by solving a signed contracted graph,
+// recursively if it still exceeds the qubit budget.
 package qaoa2
 
 import (
-	"fmt"
-
-	"qaoa2/internal/gw"
-	"qaoa2/internal/maxcut"
-	"qaoa2/internal/qaoa"
-	"qaoa2/internal/rng"
-
-	"qaoa2/internal/graph"
+	"qaoa2/internal/solver"
 )
 
-// SubSolver produces a cut for one sub-graph. Implementations must be
-// safe for concurrent use: sub-graphs are solved in parallel (Fig. 2's
-// worker pool).
-type SubSolver interface {
-	// Name labels the solver in reports ("qaoa", "gw", ...).
-	Name() string
-	// SolveSub returns a cut of g using randomness from r only.
-	SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error)
-}
+// SubSolver produces a cut for one sub-graph. It IS the solver plane's
+// interface (internal/solver): every solver in the registry plugs in
+// here, and anything satisfying this interface works on every
+// execution path. Implementations must be safe for concurrent use:
+// sub-graphs are solved in parallel (Fig. 2's worker pool).
+type SubSolver = solver.Solver
 
-// QAOASolver solves sub-graphs with simulated QAOA.
-type QAOASolver struct {
-	Opts qaoa.Options
-}
-
-// Name implements SubSolver.
-func (s QAOASolver) Name() string { return "qaoa" }
-
-// SolveSub implements SubSolver.
-func (s QAOASolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
-	res, err := qaoa.Solve(g, s.Opts, r)
-	if err != nil {
-		return maxcut.Cut{}, err
-	}
-	return res.Cut, nil
-}
-
-// GWSolver solves sub-graphs with Goemans-Williamson, returning the best
-// rounded cut (the merge step needs an assignment, not the averaged
-// value the paper reports for comparisons).
-type GWSolver struct {
-	Opts gw.Options
-}
-
-// Name implements SubSolver.
-func (s GWSolver) Name() string { return "gw" }
-
-// SolveSub implements SubSolver.
-func (s GWSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
-	res, err := gw.Solve(g, s.Opts, r)
-	if err != nil {
-		return maxcut.Cut{}, err
-	}
-	return res.Best, nil
-}
-
-// BestOfSolver runs every inner solver and keeps the best cut — the
-// paper's "Best" series, i.e. the run-time quantum-or-classical decision
-// the heterogeneous SLURM allocation makes possible.
-type BestOfSolver struct {
-	Solvers []SubSolver
-}
-
-// Name implements SubSolver.
-func (s BestOfSolver) Name() string { return "best" }
-
-// SolveSub implements SubSolver.
-func (s BestOfSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
-	if len(s.Solvers) == 0 {
-		return maxcut.Cut{}, fmt.Errorf("qaoa2: BestOfSolver has no inner solvers")
-	}
-	var best maxcut.Cut
-	found := false
-	for i, inner := range s.Solvers {
-		cut, err := inner.SolveSub(g, r.Split(uint64(i)+1))
-		if err != nil {
-			return maxcut.Cut{}, fmt.Errorf("qaoa2: inner solver %s: %w", inner.Name(), err)
-		}
-		if !found || cut.Value > best.Value {
-			best = cut
-			found = true
-		}
-	}
-	return best, nil
-}
-
-// RandomSolver returns a uniformly random bipartition (the paper's red
-// baseline uses a random partition of the full graph; as a sub-solver
-// this gives the degenerate QAOA²-with-random-leaves ablation).
-type RandomSolver struct {
-	Trials int // best of this many draws (default 1)
-}
-
-// Name implements SubSolver.
-func (s RandomSolver) Name() string { return "random" }
-
-// SolveSub implements SubSolver.
-func (s RandomSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
-	return maxcut.RandomCut(g, s.Trials, r), nil
-}
-
-// AnnealSolver solves sub-graphs with simulated annealing, the
-// statistical-physics baseline from the paper's related work.
-type AnnealSolver struct {
-	Opts maxcut.AnnealOptions
-}
-
-// Name implements SubSolver.
-func (s AnnealSolver) Name() string { return "anneal" }
-
-// SolveSub implements SubSolver.
-func (s AnnealSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
-	return maxcut.SimulatedAnnealing(g, s.Opts, r), nil
-}
-
-// ExactSolver brute-forces sub-graphs; usable only below
-// maxcut.MaxExactNodes, intended for tests and small merge graphs.
-type ExactSolver struct{}
-
-// Name implements SubSolver.
-func (ExactSolver) Name() string { return "exact" }
-
-// SolveSub implements SubSolver.
-func (ExactSolver) SolveSub(g *graph.Graph, _ *rng.Rand) (maxcut.Cut, error) {
-	return maxcut.BruteForce(g)
-}
-
-// OneExchangeSolver is the NetworkX one_exchange local-search baseline.
-type OneExchangeSolver struct{}
-
-// Name implements SubSolver.
-func (OneExchangeSolver) Name() string { return "one-exchange" }
-
-// SolveSub implements SubSolver.
-func (OneExchangeSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
-	return maxcut.OneExchange(g, r), nil
-}
+// The concrete solvers live in internal/solver (the registry); these
+// aliases keep the historical qaoa2-level names working.
+type (
+	// QAOASolver solves sub-graphs with simulated QAOA.
+	QAOASolver = solver.QAOASolver
+	// GWSolver solves sub-graphs with Goemans-Williamson.
+	GWSolver = solver.GWSolver
+	// SDPGWSolver is GW with the SDP relaxation method pinned.
+	SDPGWSolver = solver.SDPGWSolver
+	// RQAOASolver solves sub-graphs with recursive QAOA.
+	RQAOASolver = solver.RQAOASolver
+	// BestOfSolver runs every inner solver and keeps the best cut.
+	BestOfSolver = solver.BestOfSolver
+	// PortfolioSolver races inner solvers under a shared deadline.
+	PortfolioSolver = solver.PortfolioSolver
+	// MLAdaptiveSolver gates QAOA-vs-classical per sub-graph with the
+	// mlselect feature classifier.
+	MLAdaptiveSolver = solver.MLAdaptiveSolver
+	// RandomSolver returns a uniformly random bipartition.
+	RandomSolver = solver.RandomSolver
+	// AnnealSolver solves sub-graphs with simulated annealing.
+	AnnealSolver = solver.AnnealSolver
+	// ExactSolver brute-forces sub-graphs.
+	ExactSolver = solver.ExactSolver
+	// OneExchangeSolver is the 1-swap local-search baseline.
+	OneExchangeSolver = solver.OneExchangeSolver
+)

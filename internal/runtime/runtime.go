@@ -20,11 +20,13 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"time"
 
 	"qaoa2/internal/graph"
 	"qaoa2/internal/maxcut"
 	"qaoa2/internal/partition"
 	"qaoa2/internal/rng"
+	"qaoa2/internal/solver"
 )
 
 // SubSolver produces a cut for one sub-graph. It is structurally
@@ -89,8 +91,19 @@ type Event struct {
 	Nodes, Edges int
 	// Value is the cut value for solve tasks.
 	Value float64
-	// Solver names the solver for solve tasks.
+	// Solver names the solver that produced the cut for solve tasks —
+	// for composite strategies, the winning member (the checkpoint
+	// records the same name, so restored events re-attribute
+	// identically).
 	Solver string
+	// Attempts carries the per-member attribution of a composite
+	// solve, with per-attempt timing (nil for plain solvers and for
+	// restored results).
+	Attempts []solver.Attempt
+	// Nanos is the solve task's wall time (0 for restored results).
+	// Timing is telemetry: it never enters checkpoints or result
+	// identity.
+	Nanos int64
 	// Restored marks results served from the checkpoint.
 	Restored bool
 }
@@ -108,12 +121,14 @@ type Stats struct {
 }
 
 // SubReport records one solved first-level sub-graph (mirrors
-// qaoa2.SubReport).
+// qaoa2.SubReport, field for field — qaoa2 converts by struct
+// conversion).
 type SubReport struct {
-	Nodes  int
-	Edges  int
-	Value  float64
-	Solver string
+	Nodes    int
+	Edges    int
+	Value    float64
+	Solver   string
+	Attempts []solver.Attempt
 }
 
 // Result reports a runtime QAOA² run. Cut, Levels, SubGraphs,
@@ -260,52 +275,69 @@ func partitionTag(parts [][]int) string {
 
 // runDirect handles a graph that fits the device: a single solve task.
 func (st *solveState) runDirect(g *graph.Graph) error {
-	cut, solverName, restored, err := st.solveTask("s0/direct", g, st.opts.Solver, rng.New(st.opts.Seed))
+	sv, err := st.solveTask("s0/direct", g, st.opts.Solver, rng.New(st.opts.Seed))
 	if err != nil {
 		return err
 	}
-	rep := SubReport{Nodes: g.N(), Edges: g.M(), Value: cut.Value, Solver: solverName}
+	rep := SubReport{Nodes: g.N(), Edges: g.M(), Value: sv.cut.Value,
+		Solver: sv.winner, Attempts: sv.attempts}
 	st.mu.Lock()
 	st.stats.Tasks++
-	if restored {
+	if sv.restored {
 		st.stats.Restored++
 	} else {
 		st.stats.SubSolves++
 	}
 	st.result = &Result{
-		Cut:        cut,
+		Cut:        sv.cut,
 		SubGraphs:  1,
 		SubReports: []SubReport{rep},
-		IntraCut:   cut.Value,
+		IntraCut:   sv.cut.Value,
 	}
 	st.mu.Unlock()
 	st.emit(Event{Task: "s0/direct", Kind: kindSubSolve.String(), Stage: 0, Index: 0,
-		Nodes: g.N(), Edges: g.M(), Value: cut.Value, Solver: solverName, Restored: restored})
+		Nodes: g.N(), Edges: g.M(), Value: sv.cut.Value, Solver: sv.winner,
+		Attempts: sv.attempts, Nanos: sv.nanos, Restored: sv.restored})
 	return nil
 }
 
+// solved is one completed solve task: the cut, the winning solver's
+// name (the checkpoint identity), and the run-only telemetry.
+type solved struct {
+	cut      maxcut.Cut
+	winner   string
+	attempts []solver.Attempt
+	nanos    int64
+	restored bool
+}
+
 // solveTask runs one checkpointable solve: checkpoint lookup first,
-// solver otherwise, record after.
-func (st *solveState) solveTask(key string, g *graph.Graph, solver SubSolver, r *rng.Rand) (maxcut.Cut, string, bool, error) {
+// solver otherwise, record after. The checkpoint stores the WINNER's
+// name, so a restored composite solve re-attributes to the member
+// that actually produced the cut; attempts and timing are telemetry
+// of the run that solved, never of a restore.
+func (st *solveState) solveTask(key string, g *graph.Graph, s SubSolver, r *rng.Rand) (solved, error) {
 	if st.ckpt != nil {
 		if rec, ok := st.ckpt.Lookup(key); ok && len(rec.Cut.Spins) == g.N() {
 			name := rec.Solver
 			if name == "" {
-				name = solver.Name()
+				name = s.Name()
 			}
-			return rec.Cut, name, true, nil
+			return solved{cut: rec.Cut, winner: name, restored: true}, nil
 		}
 	}
-	cut, err := solver.SolveSub(g, r)
+	start := time.Now()
+	cut, rep, err := solver.SolveAttributed(s, g, r)
 	if err != nil {
-		return maxcut.Cut{}, "", false, err
+		return solved{}, err
 	}
+	nanos := time.Since(start).Nanoseconds()
 	if st.ckpt != nil {
-		if err := st.ckpt.Record(key, Record{Cut: cut, Solver: solver.Name()}); err != nil {
-			return maxcut.Cut{}, "", false, err
+		if err := st.ckpt.Record(key, Record{Cut: cut, Solver: rep.Winner}); err != nil {
+			return solved{}, err
 		}
 	}
-	return cut, solver.Name(), false, nil
+	return solved{cut: cut, winner: rep.Winner, attempts: rep.Attempts, nanos: nanos}, nil
 }
 
 // addStage appends a new divide level and schedules its partition
@@ -397,28 +429,30 @@ func (st *solveState) runSub(sg *stage, i int) error {
 		return err
 	}
 	key := fmt.Sprintf("s%d/sub%d", sg.index, i)
-	cut, solverName, restored, err := st.solveTask(key, sub, sg.solver,
+	sv, err := st.solveTask(key, sub, sg.solver,
 		rng.New(sg.seed).Split(uint64(i)+0x9e37))
 	if err != nil {
 		return fmt.Errorf("runtime: stage %d sub-graph %d: %w", sg.index, i, err)
 	}
-	if len(cut.Spins) != len(sg.parts[i]) {
+	if len(sv.cut.Spins) != len(sg.parts[i]) {
 		return fmt.Errorf("runtime: stage %d part %d has %d nodes but cut has %d spins",
-			sg.index, i, len(sg.parts[i]), len(cut.Spins))
+			sg.index, i, len(sg.parts[i]), len(sv.cut.Spins))
 	}
 	sg.subs[i] = sub
-	sg.cuts[i] = cut
-	sg.reports[i] = SubReport{Nodes: sub.N(), Edges: sub.M(), Value: cut.Value, Solver: solverName}
+	sg.cuts[i] = sv.cut
+	sg.reports[i] = SubReport{Nodes: sub.N(), Edges: sub.M(), Value: sv.cut.Value,
+		Solver: sv.winner, Attempts: sv.attempts}
 	st.mu.Lock()
 	st.stats.Tasks++
-	if restored {
+	if sv.restored {
 		st.stats.Restored++
 	} else {
 		st.stats.SubSolves++
 	}
 	st.mu.Unlock()
 	st.emit(Event{Task: key, Kind: kindSubSolve.String(), Stage: sg.index, Index: i,
-		Nodes: sub.N(), Edges: sub.M(), Value: cut.Value, Solver: solverName, Restored: restored})
+		Nodes: sub.N(), Edges: sub.M(), Value: sv.cut.Value, Solver: sv.winner,
+		Attempts: sv.attempts, Nanos: sv.nanos, Restored: sv.restored})
 	return nil
 }
 
@@ -481,27 +515,27 @@ func (st *solveState) runMergeBuild(sg *stage) error {
 // runMergeSolve orients the deepest stage's merge graph.
 func (st *solveState) runMergeSolve(sg *stage) error {
 	key := fmt.Sprintf("s%d/merge", sg.index)
-	cut, solverName, restored, err := st.solveTask(key, sg.merged, st.opts.MergeSolver,
+	sv, err := st.solveTask(key, sg.merged, st.opts.MergeSolver,
 		rng.New(sg.seed).Split(0x51ed))
 	if err != nil {
 		return fmt.Errorf("runtime: stage %d merge: %w", sg.index, err)
 	}
-	if len(cut.Spins) != sg.merged.N() {
+	if len(sv.cut.Spins) != sg.merged.N() {
 		return fmt.Errorf("runtime: stage %d merge cut has %d spins for %d nodes",
-			sg.index, len(cut.Spins), sg.merged.N())
+			sg.index, len(sv.cut.Spins), sg.merged.N())
 	}
-	sg.flips = cut.Spins
+	sg.flips = sv.cut.Spins
 	st.mu.Lock()
 	st.stats.Tasks++
-	if restored {
+	if sv.restored {
 		st.stats.Restored++
 	} else {
 		st.stats.MergeSolves++
 	}
 	st.mu.Unlock()
 	st.emit(Event{Task: key, Kind: kindMergeSolve.String(), Stage: sg.index, Index: -1,
-		Nodes: sg.merged.N(), Edges: sg.merged.M(), Value: cut.Value, Solver: solverName,
-		Restored: restored})
+		Nodes: sg.merged.N(), Edges: sg.merged.M(), Value: sv.cut.Value, Solver: sv.winner,
+		Attempts: sv.attempts, Nanos: sv.nanos, Restored: sv.restored})
 	st.scheduleStitch(sg.index)
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"qaoa2/internal/graph"
 	q2 "qaoa2/internal/qaoa2"
 	rt "qaoa2/internal/runtime"
+	"qaoa2/internal/solver"
 )
 
 // Config configures a Server.
@@ -55,13 +57,29 @@ type Config struct {
 	// hits. Empty keeps everything in memory.
 	StateDir string
 	// Resolve maps a request to concrete solvers (default
-	// ResolveSolvers; tests inject instrumented solvers).
+	// ResolveSolvers; tests inject instrumented solvers). With the
+	// default, jobs run through qaoa2.Options.SolverSpec so the
+	// runtime checkpoint header fingerprints the canonical spec JSON —
+	// stable across daemon restarts; a custom Resolve falls back to
+	// fingerprinting the solver's printed state, which errs toward
+	// re-solving rather than resuming wrongly.
 	Resolve func(SolveRequest) (Solvers, error)
+
+	// specDispatch records that Resolve is the registry default, so
+	// runJob can dispatch by spec (set by withDefaults).
+	specDispatch bool
 }
 
 func (c Config) withDefaults() Config {
 	if c.GlobalParallelism <= 0 {
 		c.GlobalParallelism = runtime.GOMAXPROCS(0)
+	}
+	// Passing the exported default explicitly is the same as leaving
+	// it nil — both get registry spec dispatch (the reflect pointer
+	// comparison catches Config{Resolve: serve.ResolveSolvers}).
+	if c.Resolve != nil &&
+		reflect.ValueOf(c.Resolve).Pointer() == reflect.ValueOf(ResolveSolvers).Pointer() {
+		c.Resolve = nil
 	}
 	if c.MaxJobParallelism <= 0 || c.MaxJobParallelism > c.GlobalParallelism {
 		c.MaxJobParallelism = c.GlobalParallelism
@@ -74,6 +92,7 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Resolve == nil {
 		c.Resolve = ResolveSolvers
+		c.specDispatch = true
 	}
 	return c
 }
@@ -117,12 +136,15 @@ type JobResult struct {
 	Reports   []SubReport `json:"reports,omitempty"`
 }
 
-// SubReport mirrors qaoa2.SubReport in wire form.
+// SubReport mirrors qaoa2.SubReport in wire form. Solver names the
+// member that actually produced the kept cut; Attempts carries the
+// per-member attribution of composite solves.
 type SubReport struct {
-	Nodes  int     `json:"nodes"`
-	Edges  int     `json:"edges"`
-	Value  float64 `json:"value"`
-	Solver string  `json:"solver"`
+	Nodes    int              `json:"nodes"`
+	Edges    int              `json:"edges"`
+	Value    float64          `json:"value"`
+	Solver   string           `json:"solver"`
+	Attempts []solver.Attempt `json:"attempts,omitempty"`
 }
 
 // JobStatus is the externally visible job snapshot (submit responses,
@@ -518,20 +540,32 @@ func (s *Server) checkpointPath(j *job) string {
 // its terminal (or parked) state.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
-	solvers, err := s.cfg.Resolve(j.req)
+	opts := q2.Options{
+		MaxQubits:      j.req.MaxQubits,
+		Parallelism:    j.parallelism,
+		Seed:           j.req.Seed,
+		Runtime:        true,
+		CheckpointPath: s.checkpointPath(j),
+		OnRuntimeEvent: func(ev rt.Event) { s.appendEvent(j, ev) },
+		Interrupt:      s.drainCh,
+	}
+	var err error
+	if s.cfg.specDispatch {
+		// Registry dispatch: the checkpoint header fingerprints the
+		// canonical spec JSON, so a daemon restarted on the same
+		// StateDir re-binds resumed jobs to the identical solver
+		// configuration across processes.
+		opts.SolverSpec = j.req.SolverSpec(j.req.Solver)
+		opts.MergeSpec = j.req.SolverSpec(j.req.Merge)
+	} else {
+		var solvers Solvers
+		solvers, err = s.cfg.Resolve(j.req)
+		opts.Solver = solvers.Sub
+		opts.MergeSolver = solvers.Merge
+	}
 	var res *q2.Result
 	if err == nil {
-		res, err = q2.Solve(j.g, q2.Options{
-			MaxQubits:      j.req.MaxQubits,
-			Solver:         solvers.Sub,
-			MergeSolver:    solvers.Merge,
-			Parallelism:    j.parallelism,
-			Seed:           j.req.Seed,
-			Runtime:        true,
-			CheckpointPath: s.checkpointPath(j),
-			OnRuntimeEvent: func(ev rt.Event) { s.appendEvent(j, ev) },
-			Interrupt:      s.drainCh,
-		})
+		res, err = q2.Solve(j.g, opts)
 	}
 
 	s.mu.Lock()
@@ -637,7 +671,8 @@ func resultOf(res *q2.Result) *JobResult {
 		Reports:   make([]SubReport, len(res.SubReports)),
 	}
 	for i, r := range res.SubReports {
-		out.Reports[i] = SubReport{Nodes: r.Nodes, Edges: r.Edges, Value: r.Value, Solver: r.Solver}
+		out.Reports[i] = SubReport{Nodes: r.Nodes, Edges: r.Edges, Value: r.Value,
+			Solver: r.Solver, Attempts: r.Attempts}
 	}
 	return out
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"qaoa2/internal/graph"
-	"qaoa2/internal/qaoa"
 	q2 "qaoa2/internal/qaoa2"
 	rt "qaoa2/internal/runtime"
+	"qaoa2/internal/solver"
 )
 
 // EdgeSpec is one weighted edge of a submitted instance.
@@ -63,9 +63,11 @@ const (
 type SolveRequest struct {
 	Graph     GraphSpec `json:"graph"`
 	MaxQubits int       `json:"maxQubits,omitempty"`
-	// Solver/Merge name the sub-graph and merge-graph solvers
-	// ("qaoa", "gw", "best", "anneal", "random", "one-exchange",
-	// "exact"); defaults mirror cmd/qaoa2 ("best" / "gw").
+	// Solver/Merge name the sub-graph and merge-graph solvers — any
+	// name in the solver registry (internal/solver: "qaoa", "gw",
+	// "sdp-gw", "rqaoa", "best", "portfolio", "ml-adaptive", "anneal",
+	// "random", "one-exchange", "exact", plus anything registered at
+	// run time); defaults mirror cmd/qaoa2 ("best" / "gw").
 	Solver string `json:"solver,omitempty"`
 	Merge  string `json:"merge,omitempty"`
 	// Layers is the QAOA ansatz depth p for qaoa/best solvers
@@ -128,48 +130,28 @@ type Solvers struct {
 	Merge q2.SubSolver
 }
 
-// ResolveSolvers is the default solver registry: the same names
-// cmd/qaoa2 accepts. Config.Resolve overrides it (tests inject gated
-// or instrumented solvers there).
-//
-// NOTE: cmd/qaoa2's pickSolver is the CLI-side sibling of this
-// registry — it additionally threads CLI-only knobs (iters, rhobeg,
-// shots, backend) that have no wire-format field here. A solver name
-// added to one must be added to the other.
-func ResolveSolvers(req SolveRequest) (Solvers, error) {
-	sub, err := solverByName(req.Solver, req)
-	if err != nil {
-		return Solvers{}, err
-	}
-	merge, err := solverByName(req.Merge, req)
-	if err != nil {
-		return Solvers{}, err
-	}
-	return Solvers{Sub: sub, Merge: merge}, nil
+// SolverSpec maps a request's solver-shaping fields onto the registry
+// spec for one role's name — the single place the wire format meets
+// the solver plane. The same registry serves cmd/qaoa2's flags, so
+// the HTTP and CLI surfaces can never drift apart on what a solver
+// name means.
+func (r SolveRequest) SolverSpec(name string) solver.Spec {
+	return solver.Spec{Name: name, Layers: r.Layers, Seed: r.Seed}
 }
 
-func solverByName(name string, req SolveRequest) (q2.SubSolver, error) {
-	qopts := qaoa.Options{Layers: req.Layers, Seed: req.Seed}
-	switch name {
-	case "qaoa":
-		return q2.QAOASolver{Opts: qopts}, nil
-	case "gw":
-		return q2.GWSolver{}, nil
-	case "best":
-		return q2.BestOfSolver{Solvers: []q2.SubSolver{
-			q2.QAOASolver{Opts: qopts}, q2.GWSolver{},
-		}}, nil
-	case "anneal":
-		return q2.AnnealSolver{}, nil
-	case "random":
-		return q2.RandomSolver{}, nil
-	case "one-exchange":
-		return q2.OneExchangeSolver{}, nil
-	case "exact":
-		return q2.ExactSolver{}, nil
-	default:
-		return nil, fmt.Errorf("serve: unknown solver %q", name)
+// ResolveSolvers builds a request's solvers through the registry
+// (internal/solver). Config.Resolve overrides it (tests inject gated
+// or instrumented solvers there).
+func ResolveSolvers(req SolveRequest) (Solvers, error) {
+	sub, err := solver.Build(req.SolverSpec(req.Solver))
+	if err != nil {
+		return Solvers{}, fmt.Errorf("serve: %w", err)
 	}
+	merge, err := solver.Build(req.SolverSpec(req.Merge))
+	if err != nil {
+		return Solvers{}, fmt.Errorf("serve: merge: %w", err)
+	}
+	return Solvers{Sub: sub, Merge: merge}, nil
 }
 
 // Event is one task-completion progress event of a job, streamed over
@@ -177,16 +159,24 @@ func solverByName(name string, req SolveRequest) (q2.SubSolver, error) {
 // increasing per job; subscribers that attach mid-run replay the
 // prefix first, so every subscriber observes the identical sequence.
 type Event struct {
-	Seq      int     `json:"seq"`
-	Task     string  `json:"task"`
-	Kind     string  `json:"kind"`
-	Stage    int     `json:"stage"`
-	Index    int     `json:"index"`
-	Nodes    int     `json:"nodes"`
-	Edges    int     `json:"edges"`
-	Value    float64 `json:"value,omitempty"`
-	Solver   string  `json:"solver,omitempty"`
-	Restored bool    `json:"restored,omitempty"`
+	Seq   int     `json:"seq"`
+	Task  string  `json:"task"`
+	Kind  string  `json:"kind"`
+	Stage int     `json:"stage"`
+	Index int     `json:"index"`
+	Nodes int     `json:"nodes"`
+	Edges int     `json:"edges"`
+	Value float64 `json:"value,omitempty"`
+	// Solver names the solver that produced a solve task's cut — for
+	// composite strategies (best, portfolio, ml-adaptive), the member
+	// that actually won.
+	Solver string `json:"solver,omitempty"`
+	// Attempts is the per-member attribution of a composite solve
+	// (value, wall time, error per inner solver).
+	Attempts []solver.Attempt `json:"attempts,omitempty"`
+	// Nanos is the solve task's wall time (0 for restored tasks).
+	Nanos    int64 `json:"nanos,omitempty"`
+	Restored bool  `json:"restored,omitempty"`
 }
 
 // eventFromRuntime stamps a runtime event with its per-job sequence
@@ -202,6 +192,8 @@ func eventFromRuntime(seq int, ev rt.Event) Event {
 		Edges:    ev.Edges,
 		Value:    ev.Value,
 		Solver:   ev.Solver,
+		Attempts: ev.Attempts,
+		Nanos:    ev.Nanos,
 		Restored: ev.Restored,
 	}
 }

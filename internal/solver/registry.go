@@ -1,0 +1,271 @@
+package solver
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qaoa2/internal/backend"
+	"qaoa2/internal/gw"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/rqaoa"
+	"qaoa2/internal/sdp"
+)
+
+// Spec is the parameterized, JSON-serializable description of a
+// registered solver — the one currency every surface trades in: the
+// serve wire format carries (name, layers, seed) fields that build a
+// Spec, CLIs build one from flags, and checkpoint headers fingerprint
+// one canonically so a resumed run re-binds to the identical solver.
+//
+// Every field except Name is optional; factories read the fields they
+// understand and ignore the rest, so one flat struct parameterizes the
+// whole registry without per-solver wire types.
+type Spec struct {
+	// Name selects the registered factory ("qaoa", "gw", "best", ...).
+	Name string `json:"name"`
+
+	// QAOA parameterization (qaoa, rqaoa, and the quantum member of
+	// the composite solvers).
+	Layers   int     `json:"layers,omitempty"`
+	MaxIters int     `json:"maxIters,omitempty"`
+	Rhobeg   float64 `json:"rhobeg,omitempty"`
+	Shots    int     `json:"shots,omitempty"`
+	Restarts int     `json:"restarts,omitempty"`
+	// Backend names the circuit-execution backend ("fused", "dense",
+	// "noisy"; "" = the solve-time default).
+	Backend string `json:"backend,omitempty"`
+	// Seed feeds solvers that keep their own deterministic stream
+	// (qaoa's sampling); per-sub-graph randomness still derives from
+	// the solve's rng, never from here.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Anneal / random / rqaoa / sdp knobs.
+	Sweeps int `json:"sweeps,omitempty"` // anneal: full sweeps
+	Trials int `json:"trials,omitempty"` // random: best-of draws
+	Cutoff int `json:"cutoff,omitempty"` // rqaoa: brute-force residual size
+	// Method pins the SDP relaxation solver for "sdp-gw"
+	// ("admm", "mixing", "auto"; default mixing).
+	Method string `json:"method,omitempty"`
+
+	// Composite solvers (best, portfolio, ml-adaptive).
+	//
+	// Inner lists the member specs; empty selects the registered
+	// default members, with this spec's parameter fields inherited.
+	Inner []Spec `json:"inner,omitempty"`
+	// BudgetMS is the portfolio racing deadline in milliseconds
+	// (0 = wait for every member; see PortfolioSolver.Deadline).
+	BudgetMS int64 `json:"budgetMS,omitempty"`
+}
+
+// Canonical renders the spec as deterministic JSON — the form folded
+// into checkpoint headers and job fingerprints. encoding/json writes
+// struct fields in declaration order and omits empty optionals, so two
+// equal specs always canonicalize identically.
+func (s Spec) Canonical() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it. Keep a
+		// non-empty fallback so a fingerprint never silently collapses.
+		return fmt.Sprintf("%+v", s)
+	}
+	return string(b)
+}
+
+// inherit copies s's parameter fields onto a member spec named name —
+// how composite defaults thread the parent's QAOA knobs through.
+func (s Spec) inherit(name string) Spec {
+	inner := s
+	inner.Name = name
+	inner.Inner = nil
+	inner.BudgetMS = 0
+	return inner
+}
+
+// Factory builds a solver from its spec.
+type Factory func(Spec) (Solver, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Factory)
+)
+
+// Register adds a named solver factory. Registering a duplicate name
+// is an error: the registry is the single source of truth for what a
+// name means, on every surface at once.
+func Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("solver: Register needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("solver: %q already registered", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// mustRegister panics on registration failure; used for the built-in
+// table, where a duplicate is a programming error.
+func mustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns every registered solver name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamesHelp renders the registered names as a "a|b|c" usage string for
+// CLI flag help.
+func NamesHelp() string { return strings.Join(Names(), "|") }
+
+// Build constructs the solver a spec describes.
+func Build(spec Spec) (Solver, error) {
+	regMu.RLock()
+	f, ok := registry[spec.Name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown solver %q (want %s)", spec.Name, NamesHelp())
+	}
+	return f(spec)
+}
+
+// FromName builds a solver from a bare name with default parameters.
+func FromName(name string) (Solver, error) { return Build(Spec{Name: name}) }
+
+// buildInner materializes a composite's member solvers: the spec's
+// explicit Inner list, or the given default member names with the
+// parent's parameters inherited.
+func buildInner(spec Spec, defaults ...string) ([]Solver, error) {
+	inner := spec.Inner
+	if len(inner) == 0 {
+		inner = make([]Spec, len(defaults))
+		for i, name := range defaults {
+			inner[i] = spec.inherit(name)
+		}
+	}
+	out := make([]Solver, len(inner))
+	for i, is := range inner {
+		s, err := Build(is)
+		if err != nil {
+			return nil, fmt.Errorf("solver: %s member %d: %w", spec.Name, i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// qaoaOptions maps the spec's QAOA fields onto qaoa.Options.
+func qaoaOptions(spec Spec) (qaoa.Options, error) {
+	be, err := backend.ByName(spec.Backend)
+	if err != nil {
+		return qaoa.Options{}, err
+	}
+	return qaoa.Options{
+		Layers:   spec.Layers,
+		MaxIters: spec.MaxIters,
+		Rhobeg:   spec.Rhobeg,
+		Shots:    spec.Shots,
+		Restarts: spec.Restarts,
+		Backend:  be,
+		Seed:     spec.Seed,
+	}, nil
+}
+
+// sdpMethod parses Spec.Method for "sdp-gw".
+func sdpMethod(name string) (sdp.Method, error) {
+	switch name {
+	case "", "mixing":
+		return sdp.Mixing, nil
+	case "admm":
+		return sdp.ADMM, nil
+	case "auto":
+		return sdp.Auto, nil
+	default:
+		return 0, fmt.Errorf("solver: unknown SDP method %q (want admm|mixing|auto)", name)
+	}
+}
+
+// The built-in registry. Every solver any surface has ever named lives
+// here; serve, cmd/qaoa2, cmd/workflow and hpc resolve through this
+// single table.
+func init() {
+	mustRegister("qaoa", func(spec Spec) (Solver, error) {
+		opts, err := qaoaOptions(spec)
+		if err != nil {
+			return nil, err
+		}
+		return QAOASolver{Opts: opts}, nil
+	})
+	mustRegister("gw", func(Spec) (Solver, error) {
+		return GWSolver{}, nil
+	})
+	mustRegister("sdp-gw", func(spec Spec) (Solver, error) {
+		method, err := sdpMethod(spec.Method)
+		if err != nil {
+			return nil, err
+		}
+		return SDPGWSolver{GWSolver{Opts: gw.Options{SDP: sdp.Options{Method: method, Seed: spec.Seed}}}}, nil
+	})
+	mustRegister("rqaoa", func(spec Spec) (Solver, error) {
+		opts, err := qaoaOptions(spec)
+		if err != nil {
+			return nil, err
+		}
+		return RQAOASolver{Opts: rqaoa.Options{Cutoff: spec.Cutoff, QAOA: opts}}, nil
+	})
+	mustRegister("anneal", func(spec Spec) (Solver, error) {
+		return AnnealSolver{Opts: maxcut.AnnealOptions{Sweeps: spec.Sweeps}}, nil
+	})
+	mustRegister("random", func(spec Spec) (Solver, error) {
+		return RandomSolver{Trials: spec.Trials}, nil
+	})
+	mustRegister("one-exchange", func(Spec) (Solver, error) {
+		return OneExchangeSolver{}, nil
+	})
+	mustRegister("exact", func(Spec) (Solver, error) {
+		return ExactSolver{}, nil
+	})
+	mustRegister("best", func(spec Spec) (Solver, error) {
+		inner, err := buildInner(spec, "qaoa", "gw")
+		if err != nil {
+			return nil, err
+		}
+		return BestOfSolver{Solvers: inner}, nil
+	})
+	mustRegister("portfolio", func(spec Spec) (Solver, error) {
+		inner, err := buildInner(spec, "qaoa", "gw", "anneal")
+		if err != nil {
+			return nil, err
+		}
+		return PortfolioSolver{
+			Solvers:  inner,
+			Deadline: time.Duration(spec.BudgetMS) * time.Millisecond,
+		}, nil
+	})
+	mustRegister("ml-adaptive", func(spec Spec) (Solver, error) {
+		members, err := buildInner(spec, "qaoa", "gw")
+		if err != nil {
+			return nil, err
+		}
+		if len(members) != 2 {
+			return nil, fmt.Errorf("solver: ml-adaptive needs exactly 2 members (quantum, classical), got %d", len(members))
+		}
+		return MLAdaptiveSolver{Quantum: members[0], Classical: members[1]}, nil
+	})
+}

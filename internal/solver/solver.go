@@ -1,0 +1,270 @@
+// Package solver is the repository's pluggable solver plane: the one
+// place sub-graph MaxCut solvers are named, constructed, and observed.
+// The paper's central run-time decision — solve each sub-graph with
+// QAOA or with a classical method, chosen per instance (§2, §5,
+// following Moussa, Calandra & Dunjko "To quantum or not to quantum")
+// — needs every execution surface (library, task-graph runtime, solve
+// daemon, CLIs, remote HPC dispatch) to agree on what a solver is and
+// what it is called. This package provides:
+//
+//   - Solver, the per-sub-graph solve interface (structurally
+//     identical to qaoa2.SubSolver and runtime.SubSolver, so one
+//     implementation serves every layer);
+//   - the concrete solvers: simulated QAOA, Goemans-Williamson, the
+//     SDP-pinned GW variant, recursive QAOA, simulated annealing,
+//     local search, brute force, random baselines, and the composite
+//     best-of / ml-adaptive / portfolio strategies;
+//   - a registry (Register / Build / Names) keyed by JSON-serializable
+//     Specs, so the HTTP wire format, checkpoint fingerprints, and CLI
+//     flags all resolve through the identical table; and
+//   - per-solver attribution (Attributor, Attempt) so composite
+//     strategies report which inner solver actually won, with timing.
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/gw"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/rqaoa"
+)
+
+// Solver produces a cut for one sub-graph. Implementations must be
+// safe for concurrent use: sub-graphs are solved in parallel (the
+// paper's Fig. 2 worker pool). It is structurally identical to
+// qaoa2.SubSolver and runtime.SubSolver, so a Solver plugs into every
+// execution path without adaptation.
+type Solver interface {
+	// Name labels the solver in reports and checkpoints ("qaoa", ...).
+	Name() string
+	// SolveSub returns a cut of g using randomness from r only.
+	SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error)
+}
+
+// Attempt records one inner solver's try inside a composite solve —
+// the per-solver attribution and timing telemetry that flows up
+// through SubReports, runtime events, and the serve NDJSON stream.
+type Attempt struct {
+	// Solver names the inner solver.
+	Solver string `json:"solver"`
+	// Value is the cut value it found (meaningless when Err is set).
+	Value float64 `json:"value"`
+	// Nanos is the attempt's wall time. Timing is telemetry, not
+	// identity: it varies run to run and is excluded from checkpoint
+	// records and determinism comparisons.
+	Nanos int64 `json:"nanos"`
+	// Err records a failed or abandoned attempt ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+// Report is the attribution of one composite solve.
+type Report struct {
+	// Winner names the inner solver whose cut was kept. For
+	// non-composite solvers it is simply the solver's own name.
+	Winner string
+	// Attempts details every inner try (nil for non-composite solvers).
+	Attempts []Attempt
+}
+
+// Attributor is implemented by composite solvers (best-of, portfolio,
+// ml-adaptive) that can attribute the returned cut to the inner solver
+// that actually produced it.
+type Attributor interface {
+	Solver
+	// SolveSubAttributed is SolveSub plus attribution. It MUST return
+	// the identical cut SolveSub returns for the same (g, r).
+	SolveSubAttributed(g *graph.Graph, r *rng.Rand) (maxcut.Cut, Report, error)
+}
+
+// SolveAttributed solves g with s and always returns an attribution:
+// composite solvers report their actual winner, plain solvers their
+// own name. Every execution path (synchronous qaoa2 recursion,
+// task-graph runtime) resolves solves through this helper so
+// SubReport.Solver names the solver that really produced the cut.
+func SolveAttributed(s Solver, g *graph.Graph, r *rng.Rand) (maxcut.Cut, Report, error) {
+	if a, ok := s.(Attributor); ok {
+		return a.SolveSubAttributed(g, r)
+	}
+	cut, err := s.SolveSub(g, r)
+	if err != nil {
+		return maxcut.Cut{}, Report{}, err
+	}
+	return cut, Report{Winner: s.Name()}, nil
+}
+
+// QAOASolver solves sub-graphs with simulated QAOA.
+type QAOASolver struct {
+	Opts qaoa.Options
+}
+
+// Name implements Solver.
+func (s QAOASolver) Name() string { return "qaoa" }
+
+// SolveSub implements Solver.
+func (s QAOASolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	res, err := qaoa.Solve(g, s.Opts, r)
+	if err != nil {
+		return maxcut.Cut{}, err
+	}
+	return res.Cut, nil
+}
+
+// GWSolver solves sub-graphs with Goemans-Williamson, returning the best
+// rounded cut (the merge step needs an assignment, not the averaged
+// value the paper reports for comparisons).
+type GWSolver struct {
+	Opts gw.Options
+}
+
+// Name implements Solver.
+func (s GWSolver) Name() string { return "gw" }
+
+// SolveSub implements Solver.
+func (s GWSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	res, err := gw.Solve(g, s.Opts, r)
+	if err != nil {
+		return maxcut.Cut{}, err
+	}
+	return res.Best, nil
+}
+
+// SDPGWSolver is Goemans-Williamson with the SDP relaxation method
+// pinned explicitly (registry name "sdp-gw") instead of the gw
+// package's size-based auto rule — by default the Burer-Monteiro
+// low-rank mixing method, the solver that kept scaling where the
+// paper's reference SCS build aborted beyond 2000 nodes. It embeds
+// GWSolver (one SolveSub implementation) and differs only in name —
+// the registry and attribution identity of the pinned variant.
+type SDPGWSolver struct {
+	GWSolver
+}
+
+// Name implements Solver.
+func (s SDPGWSolver) Name() string { return "sdp-gw" }
+
+// RQAOASolver solves sub-graphs with recursive QAOA (Bravyi et al.),
+// the non-local variant the paper cites as "leverageable using QAOA²":
+// correlation-based variable elimination down to an exactly solved
+// residual.
+type RQAOASolver struct {
+	Opts rqaoa.Options
+}
+
+// Name implements Solver.
+func (s RQAOASolver) Name() string { return "rqaoa" }
+
+// SolveSub implements Solver.
+func (s RQAOASolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	res, err := rqaoa.Solve(g, s.Opts, r)
+	if err != nil {
+		return maxcut.Cut{}, err
+	}
+	return res.Cut, nil
+}
+
+// BestOfSolver runs every inner solver sequentially and keeps the best
+// cut — the paper's "Best" series, i.e. the run-time
+// quantum-or-classical decision the heterogeneous SLURM allocation
+// makes possible. PortfolioSolver is the concurrent, deadline-bounded
+// sibling; both derive inner randomness identically (Split(i+1)), so
+// without a deadline they return the same cut.
+type BestOfSolver struct {
+	Solvers []Solver
+}
+
+// Name implements Solver.
+func (s BestOfSolver) Name() string { return "best" }
+
+// SolveSub implements Solver.
+func (s BestOfSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	cut, _, err := s.SolveSubAttributed(g, r)
+	return cut, err
+}
+
+// SolveSubAttributed implements Attributor: the winner is the inner
+// solver with the strictly best value, earliest index on ties. Inner
+// members resolve through SolveAttributed, so a NESTED composite
+// member attributes through to the leaf solver that actually produced
+// its cut (attempt labels carry the leaf name too; nested attempt
+// lists are not retained — attribution is one level of attempts, all
+// the way down on names).
+func (s BestOfSolver) SolveSubAttributed(g *graph.Graph, r *rng.Rand) (maxcut.Cut, Report, error) {
+	if len(s.Solvers) == 0 {
+		return maxcut.Cut{}, Report{}, fmt.Errorf("solver: best-of has no inner solvers")
+	}
+	var best maxcut.Cut
+	rep := Report{Attempts: make([]Attempt, 0, len(s.Solvers))}
+	found := false
+	for i, inner := range s.Solvers {
+		start := time.Now()
+		cut, innerRep, err := SolveAttributed(inner, g, r.Split(uint64(i)+1))
+		if err != nil {
+			return maxcut.Cut{}, Report{}, fmt.Errorf("solver: inner solver %s: %w", inner.Name(), err)
+		}
+		rep.Attempts = append(rep.Attempts, Attempt{
+			Solver: innerRep.Winner, Value: cut.Value, Nanos: time.Since(start).Nanoseconds(),
+		})
+		if !found || cut.Value > best.Value {
+			best = cut
+			rep.Winner = innerRep.Winner
+			found = true
+		}
+	}
+	return best, rep, nil
+}
+
+// RandomSolver returns a uniformly random bipartition (the paper's red
+// baseline uses a random partition of the full graph; as a sub-solver
+// this gives the degenerate QAOA²-with-random-leaves ablation).
+type RandomSolver struct {
+	Trials int // best of this many draws (default 1)
+}
+
+// Name implements Solver.
+func (s RandomSolver) Name() string { return "random" }
+
+// SolveSub implements Solver.
+func (s RandomSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	return maxcut.RandomCut(g, s.Trials, r), nil
+}
+
+// AnnealSolver solves sub-graphs with simulated annealing, the
+// statistical-physics baseline from the paper's related work.
+type AnnealSolver struct {
+	Opts maxcut.AnnealOptions
+}
+
+// Name implements Solver.
+func (s AnnealSolver) Name() string { return "anneal" }
+
+// SolveSub implements Solver.
+func (s AnnealSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	return maxcut.SimulatedAnnealing(g, s.Opts, r), nil
+}
+
+// ExactSolver brute-forces sub-graphs; usable only below
+// maxcut.MaxExactNodes, intended for tests and small merge graphs.
+type ExactSolver struct{}
+
+// Name implements Solver.
+func (ExactSolver) Name() string { return "exact" }
+
+// SolveSub implements Solver.
+func (ExactSolver) SolveSub(g *graph.Graph, _ *rng.Rand) (maxcut.Cut, error) {
+	return maxcut.BruteForce(g)
+}
+
+// OneExchangeSolver is the NetworkX one_exchange local-search baseline.
+type OneExchangeSolver struct{}
+
+// Name implements Solver.
+func (OneExchangeSolver) Name() string { return "one-exchange" }
+
+// SolveSub implements Solver.
+func (OneExchangeSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	return maxcut.OneExchange(g, r), nil
+}

@@ -39,6 +39,7 @@ import (
 	"qaoa2/internal/runtime"
 	"qaoa2/internal/sdp"
 	"qaoa2/internal/serve"
+	"qaoa2/internal/solver"
 	"qaoa2/internal/synth"
 )
 
@@ -165,16 +166,31 @@ type (
 	Options = qaoa2.Options
 	// Result reports a QAOA² run.
 	Result = qaoa2.Result
-	// SubReport records one solved first-level sub-graph.
+	// SubReport records one solved first-level sub-graph, attributed
+	// to the solver that actually produced the kept cut.
 	SubReport = qaoa2.SubReport
-	// SubSolver is the pluggable per-sub-graph solver interface.
+	// SubSolver is the pluggable per-sub-graph solver interface (the
+	// solver plane's interface; see the registry exports below).
 	SubSolver = qaoa2.SubSolver
 	// QAOASolver solves sub-graphs with simulated QAOA.
 	QAOASolver = qaoa2.QAOASolver
 	// GWSolver solves sub-graphs classically with GW.
 	GWSolver = qaoa2.GWSolver
+	// SDPGWSolver is GW with the SDP relaxation method pinned
+	// (registry name "sdp-gw"; default the scalable mixing method).
+	SDPGWSolver = qaoa2.SDPGWSolver
+	// RQAOASolver solves sub-graphs with recursive QAOA (registry
+	// name "rqaoa").
+	RQAOASolver = qaoa2.RQAOASolver
 	// BestOfSolver keeps the best cut among its inner solvers.
 	BestOfSolver = qaoa2.BestOfSolver
+	// PortfolioSolver races its inner solvers concurrently under an
+	// optional shared deadline and keeps the best finished cut
+	// (registry name "portfolio").
+	PortfolioSolver = qaoa2.PortfolioSolver
+	// MLAdaptiveSolver gates QAOA-vs-classical per sub-graph with the
+	// mlselect feature classifier (registry name "ml-adaptive").
+	MLAdaptiveSolver = qaoa2.MLAdaptiveSolver
 	// RandomSolver is the random-partition baseline solver.
 	RandomSolver = qaoa2.RandomSolver
 	// AnnealSolver solves sub-graphs with simulated annealing.
@@ -193,6 +209,45 @@ func Solve(g *Graph, opts Options) (*Result, error) { return qaoa2.Solve(g, opts
 func SummarizeSubReports(reports []SubReport) string {
 	return qaoa2.SummarizeSubReports(reports)
 }
+
+// Solver registry (internal/solver): the single place solvers are
+// named and constructed. Every surface — this library's
+// Options.SolverSpec, the serve daemon's wire format, cmd/qaoa2 and
+// cmd/workflow flags, hpc remote dispatch — resolves names through
+// this one table, so a solver registered here is selectable
+// everywhere at once.
+type (
+	// SolverSpec is the parameterized, JSON-serializable description
+	// of a registry solver (qaoa2.Options.SolverSpec / MergeSpec take
+	// one directly).
+	SolverSpec = solver.Spec
+	// SolverFactory builds a solver from its spec.
+	SolverFactory = solver.Factory
+	// SolverAttempt is one inner solver's try inside a composite
+	// solve — the per-solver attribution and timing telemetry carried
+	// by SubReport.Attempts, runtime events, and the serve NDJSON
+	// stream.
+	SolverAttempt = solver.Attempt
+)
+
+// BuildSolver constructs the solver a spec describes.
+func BuildSolver(spec SolverSpec) (SubSolver, error) { return solver.Build(spec) }
+
+// SolverByName builds a registry solver from a bare name with default
+// parameters.
+func SolverByName(name string) (SubSolver, error) { return solver.FromName(name) }
+
+// SolverNames lists every registered solver name, sorted.
+func SolverNames() []string { return solver.Names() }
+
+// SolverNamesHelp renders the registered names as an "a|b|c" usage
+// string for CLI flag help.
+func SolverNamesHelp() string { return solver.NamesHelp() }
+
+// RegisterSolver adds a named solver factory to the registry; the new
+// name becomes selectable from every surface (CLI flags, the serve
+// daemon, remote dispatch). Duplicate names error.
+func RegisterSolver(name string, f SolverFactory) error { return solver.Register(name, f) }
 
 // RQAOA extension.
 type (

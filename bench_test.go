@@ -482,9 +482,17 @@ func benchmarkBackendEvaluate(b *testing.B, be root.Backend) {
 // BenchmarkBackendDense measures the reference synth→qsim gate walk.
 func BenchmarkBackendDense(b *testing.B) { benchmarkBackendEvaluate(b, root.DenseBackend{}) }
 
-// BenchmarkBackendFused measures the fused diagonal-cost backend; the
-// speedup over BenchmarkBackendDense is recorded in EXPERIMENTS.md.
+// BenchmarkBackendFused measures the fused diagonal-cost backend in
+// its default Z2-reduced form; the speedup over BenchmarkBackendDense
+// is recorded in EXPERIMENTS.md.
 func BenchmarkBackendFused(b *testing.B) { benchmarkBackendEvaluate(b, root.FusedBackend{}) }
+
+// BenchmarkBackendFusedFull measures the unreduced fused engine (all
+// 2^n amplitudes) — the A/B control for the Z2 symmetry reduction; the
+// CI ratio gate holds BenchmarkBackendFused at ≥1.7× over this.
+func BenchmarkBackendFusedFull(b *testing.B) {
+	benchmarkBackendEvaluate(b, root.FusedBackend{Full: true})
+}
 
 // BenchmarkBackendFusedBatch8 measures the batched multi-start API:
 // eight parameter vectors per EvaluateBatch call (ns/op is per batch;

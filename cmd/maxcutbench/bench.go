@@ -27,12 +27,37 @@ type benchConfig struct {
 }
 
 // benchConfigs are the tracked points: the acceptance benchmark
-// (16-qubit p=3, both backends) plus a smaller fused shape as a
-// dispatch-overhead sentinel.
+// (16-qubit p=3 across the default Z2-reduced fused path, its
+// unreduced fused-full control and the dense oracle), a smaller fused
+// shape as a dispatch-overhead sentinel, and a 20-qubit point where
+// the half-vector's memory advantage shows beyond the L2-resident
+// sizes.
 var benchConfigs = []benchConfig{
-	{"fused", 16, 3},
+	{"fused-z2", 16, 3},
+	{"fused-full", 16, 3},
 	{"dense", 16, 3},
-	{"fused", 12, 2},
+	{"fused-z2", 12, 2},
+	{"fused-z2", 20, 3},
+}
+
+// benchRounds is the best-of count for every measurement: the harness
+// runs each configuration this many times and keeps the fastest round.
+// Scheduler/load noise on a shared runner only ever ADDS time, so the
+// minimum is the stable estimator — single rounds were observed to
+// drift past the 20% gate tolerance on an otherwise idle 1-CPU box.
+const benchRounds = 3
+
+// bestOf runs a benchmark body benchRounds times and returns the
+// round with the lowest ns/op.
+func bestOf(body func(b *testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for round := 0; round < benchRounds; round++ {
+		res := testing.Benchmark(body)
+		if round == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best
 }
 
 // BenchResult is one benchmark measurement in the JSON report.
@@ -63,10 +88,12 @@ type BenchReport struct {
 	Results   []BenchResult `json:"results"`
 }
 
-// runJSONBench measures every benchConfig and writes the report; it
-// returns the report and the written file name (the -compare gate
-// reuses the report).
-func runJSONBench() (BenchReport, string, error) {
+// runJSONBench measures the given configurations and writes the
+// report; it returns the report and the written file name (the
+// -compare gate reuses the report). withML appends the ml-adaptive
+// dispatch measurement tracked alongside the kernel points; the
+// -backend A/B selector drops it.
+func runJSONBench(configs []benchConfig, withML bool) (BenchReport, string, error) {
 	stamp := time.Now().UTC()
 	report := BenchReport{
 		Timestamp: stamp.Format(time.RFC3339),
@@ -79,7 +106,7 @@ func runJSONBench() (BenchReport, string, error) {
 			CPUModel:   cpuModel(),
 		},
 	}
-	for _, cfg := range benchConfigs {
+	for _, cfg := range configs {
 		be, err := root.BackendByName(cfg.backend)
 		if err != nil {
 			return report, "", err
@@ -90,7 +117,7 @@ func runJSONBench() (BenchReport, string, error) {
 			return report, "", err
 		}
 		gammas, betas := qaoa.InitialParameters(cfg.layers)
-		res := testing.Benchmark(func(b *testing.B) {
+		res := bestOf(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := ans.Evaluate(gammas, betas); err != nil {
@@ -108,7 +135,9 @@ func runJSONBench() (BenchReport, string, error) {
 			AllocsPerOp: res.AllocsPerOp(),
 		})
 	}
-	report.Results = append(report.Results, mlDispatchBench())
+	if withML {
+		report.Results = append(report.Results, mlDispatchBench())
+	}
 
 	name := fmt.Sprintf("BENCH_%s.json", stamp.Format("20060102_150405"))
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -128,7 +157,7 @@ func runJSONBench() (BenchReport, string, error) {
 func mlDispatchBench() BenchResult {
 	g := root.ErdosRenyi(16, 0.5, root.Unweighted, root.NewRand(99))
 	s := root.MLAdaptiveSolver{}
-	res := testing.Benchmark(func(b *testing.B) {
+	res := bestOf(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if s.Choose(g) == nil {

@@ -90,16 +90,19 @@ func machineWarning(baseline, fresh BenchMachine) string {
 	if sameMachineClass(baseline, fresh) {
 		return ""
 	}
-	return fmt.Sprintf("WARNING: baseline machine (%s, %d CPU, %s) differs from this machine (%s, %d CPU, %s); refresh the baseline from this hardware class before trusting the gate\n",
-		baseline.CPUModel, baseline.NumCPU, baseline.GoVersion,
-		fresh.CPUModel, fresh.NumCPU, fresh.GoVersion)
+	return fmt.Sprintf("WARNING: baseline machine (%s, %d CPU, GOMAXPROCS %d, %s) differs from this machine (%s, %d CPU, GOMAXPROCS %d, %s); absolute ns/op deltas are unreliable across machine classes — refresh the baseline from this hardware before trusting the gate\n",
+		baseline.CPUModel, baseline.NumCPU, baseline.GoMaxProcs, baseline.GoVersion,
+		fresh.CPUModel, fresh.NumCPU, fresh.GoMaxProcs, fresh.GoVersion)
 }
 
 // sameMachineClass compares the hardware-identity fields (Go version
-// alone does not change the class).
+// alone does not change the class). GOMAXPROCS counts as identity:
+// the kernel pool sizes itself from it, so the same silicon with a
+// different processor budget measures a different machine.
 func sameMachineClass(a, b BenchMachine) bool {
 	return a.GoOS == b.GoOS && a.GoArch == b.GoArch &&
-		a.NumCPU == b.NumCPU && a.CPUModel == b.CPUModel
+		a.NumCPU == b.NumCPU && a.GoMaxProcs == b.GoMaxProcs &&
+		a.CPUModel == b.CPUModel
 }
 
 // gateOutcome decides the gate's exit disposition. A configuration
@@ -123,36 +126,47 @@ func gateOutcome(foreign bool, deltaFailures, missing int) (fail bool, note stri
 	}
 }
 
-// fusedDenseMinRatio is the machine-independent floor: the fused
-// backend has been ≥3× faster than the dense gate walk since the
-// backend-layer PR, and both sides of the ratio are measured in the
-// SAME fresh run — so this check gates real kernel regressions even
-// when the absolute baseline comes from foreign hardware (e.g. a
-// heterogeneous CI runner fleet).
-const fusedDenseMinRatio = 3.0
+// Machine-independent ratio floors: both sides of each ratio are
+// measured in the SAME fresh run, so these checks gate real kernel
+// regressions even when the absolute baseline comes from foreign
+// hardware (e.g. a heterogeneous CI runner fleet).
+const (
+	// fusedDenseMinRatio: the fused path has been ≥3× faster than the
+	// dense gate walk since the backend-layer PR.
+	fusedDenseMinRatio = 3.0
+	// z2FullMinRatio: the Z2 symmetry reduction's acceptance floor over
+	// the unreduced fused engine — measured ~1.8× at 16q p=3.
+	z2FullMinRatio = 1.7
+)
 
-// ratioGate checks the fused-vs-dense ratio on the 16q/p3 acceptance
-// configuration of the fresh run.
+// ratioGate checks the fused-z2-vs-dense and fused-z2-vs-fused-full
+// ratios on the 16q/p3 acceptance configuration of the fresh run.
 func ratioGate(fresh BenchReport) (ok bool, msg string) {
-	var fused, dense float64
+	var z2, full, dense float64
 	for _, r := range fresh.Results {
 		if r.Qubits == 16 && r.Layers == 3 {
 			switch r.Backend {
-			case "fused":
-				fused = r.NsPerOp
+			case "fused-z2":
+				z2 = r.NsPerOp
+			case "fused-full":
+				full = r.NsPerOp
 			case "dense":
 				dense = r.NsPerOp
 			}
 		}
 	}
-	if fused <= 0 || dense <= 0 {
-		return false, "ratio gate: fused/dense 16q p3 configurations missing from the fresh run"
+	if z2 <= 0 || full <= 0 || dense <= 0 {
+		return false, "ratio gate: fused-z2/fused-full/dense 16q p3 configurations missing from the fresh run"
 	}
-	ratio := dense / fused
-	if ratio < fusedDenseMinRatio {
-		return false, fmt.Sprintf("ratio gate FAILED: fused is only %.1fx faster than dense (floor %.0fx) — kernel regression, independent of baseline hardware", ratio, fusedDenseMinRatio)
+	denseRatio := dense / z2
+	z2Ratio := full / z2
+	if denseRatio < fusedDenseMinRatio {
+		return false, fmt.Sprintf("ratio gate FAILED: fused-z2 is only %.1fx faster than dense (floor %.0fx) — kernel regression, independent of baseline hardware", denseRatio, fusedDenseMinRatio)
 	}
-	return true, fmt.Sprintf("ratio gate: fused %.1fx faster than dense (floor %.0fx)", ratio, fusedDenseMinRatio)
+	if z2Ratio < z2FullMinRatio {
+		return false, fmt.Sprintf("ratio gate FAILED: fused-z2 is only %.2fx faster than fused-full (floor %.1fx) — symmetry-reduction regression, independent of baseline hardware", z2Ratio, z2FullMinRatio)
+	}
+	return true, fmt.Sprintf("ratio gate: fused-z2 %.1fx faster than dense (floor %.0fx), %.2fx faster than fused-full (floor %.1fx)", denseRatio, fusedDenseMinRatio, z2Ratio, z2FullMinRatio)
 }
 
 // countMissing tallies baseline configurations absent from the fresh
@@ -173,7 +187,7 @@ func renderComparison(comps []comparison, tolerancePct float64) (string, int) {
 	var b strings.Builder
 	failures := 0
 	fmt.Fprintf(&b, "benchmark regression gate (tolerance %.0f%% ns/op)\n", tolerancePct)
-	fmt.Fprintf(&b, "%-16s %14s %14s %9s\n", "config", "baseline ns/op", "fresh ns/op", "delta")
+	fmt.Fprintf(&b, "%-28s %14s %14s %9s\n", "config", "baseline ns/op", "fresh ns/op", "delta")
 	for _, c := range comps {
 		verdict := "ok"
 		if c.regression {
@@ -181,11 +195,11 @@ func renderComparison(comps []comparison, tolerancePct float64) (string, int) {
 			failures++
 		}
 		if c.freshNs < 0 {
-			fmt.Fprintf(&b, "%-16s %14.0f %14s %9s  %s (missing from fresh run)\n",
+			fmt.Fprintf(&b, "%-28s %14.0f %14s %9s  %s (missing from fresh run)\n",
 				c.key, c.baseNs, "-", "-", verdict)
 			continue
 		}
-		fmt.Fprintf(&b, "%-16s %14.0f %14.0f %+8.1f%%  %s\n",
+		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %+8.1f%%  %s\n",
 			c.key, c.baseNs, c.freshNs, c.deltaPct, verdict)
 	}
 	return b.String(), failures

@@ -14,7 +14,7 @@ func report(ns map[string]float64) BenchReport {
 		parts := strings.Split(key, "/")
 		rep.Results = append(rep.Results, BenchResult{
 			Backend: parts[0],
-			Qubits:  map[string]int{"16q": 16, "12q": 12}[parts[1]],
+			Qubits:  map[string]int{"20q": 20, "16q": 16, "12q": 12}[parts[1]],
 			Layers:  map[string]int{"p3": 3, "p2": 2}[parts[2]],
 			NsPerOp: v,
 		})
@@ -124,7 +124,7 @@ func TestLoadBaseline(t *testing.T) {
 }
 
 func TestMachineWarning(t *testing.T) {
-	a := BenchMachine{GoOS: "linux", GoArch: "amd64", GoVersion: "go1.24.0", NumCPU: 1, CPUModel: "Xeon"}
+	a := BenchMachine{GoOS: "linux", GoArch: "amd64", GoVersion: "go1.24.0", NumCPU: 1, GoMaxProcs: 1, CPUModel: "Xeon"}
 	if w := machineWarning(a, a); w != "" {
 		t.Fatalf("same machine warned: %q", w)
 	}
@@ -134,6 +134,14 @@ func TestMachineWarning(t *testing.T) {
 	w := machineWarning(a, b)
 	if !strings.Contains(w, "WARNING") || !strings.Contains(w, "EPYC") {
 		t.Fatalf("mismatch warning: %q", w)
+	}
+	// GOMAXPROCS alone changes the machine class: the kernel pool sizes
+	// itself from it, so the same silicon measures differently.
+	c := a
+	c.GoMaxProcs = 8
+	w = machineWarning(a, c)
+	if !strings.Contains(w, "WARNING") || !strings.Contains(w, "GOMAXPROCS 8") {
+		t.Fatalf("gomaxprocs mismatch warning: %q", w)
 	}
 }
 
@@ -163,20 +171,32 @@ func TestGateOutcome(t *testing.T) {
 
 func TestRatioGate(t *testing.T) {
 	healthy := report(map[string]float64{
-		"fused/16q/p3": 2_000_000,
-		"dense/16q/p3": 30_000_000, // 15x
+		"fused-z2/16q/p3":   1_000_000,
+		"fused-full/16q/p3": 1_900_000,  // 1.9x ≥ 1.7x floor
+		"dense/16q/p3":      30_000_000, // 30x ≥ 3x floor
 	})
 	if ok, msg := ratioGate(healthy); !ok {
-		t.Fatalf("healthy ratio failed: %s", msg)
+		t.Fatalf("healthy ratios failed: %s", msg)
 	}
-	slow := report(map[string]float64{
-		"fused/16q/p3": 15_000_000,
-		"dense/16q/p3": 30_000_000, // 2x < 3x floor
+	slowVsDense := report(map[string]float64{
+		"fused-z2/16q/p3":   15_000_000,
+		"fused-full/16q/p3": 28_000_000,
+		"dense/16q/p3":      30_000_000, // 2x < 3x floor
 	})
-	if ok, msg := ratioGate(slow); ok || !strings.Contains(msg, "FAILED") {
-		t.Fatalf("2x ratio passed: %s", msg)
+	if ok, msg := ratioGate(slowVsDense); ok || !strings.Contains(msg, "FAILED") {
+		t.Fatalf("2x dense ratio passed: %s", msg)
 	}
-	if ok, _ := ratioGate(report(map[string]float64{"fused/16q/p3": 1})); ok {
-		t.Fatal("missing dense config passed the ratio gate")
+	// The reduction losing its edge over fused-full fails even when the
+	// dense ratio is healthy.
+	slowVsFull := report(map[string]float64{
+		"fused-z2/16q/p3":   1_500_000,
+		"fused-full/16q/p3": 1_900_000, // 1.27x < 1.7x floor
+		"dense/16q/p3":      30_000_000,
+	})
+	if ok, msg := ratioGate(slowVsFull); ok || !strings.Contains(msg, "fused-full") {
+		t.Fatalf("1.27x z2 ratio passed: %s", msg)
+	}
+	if ok, _ := ratioGate(report(map[string]float64{"fused-z2/16q/p3": 1})); ok {
+		t.Fatal("missing fused-full/dense configs passed the ratio gate")
 	}
 }

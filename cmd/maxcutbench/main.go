@@ -11,12 +11,17 @@
 //	maxcutbench -json      # backend microbenchmarks → BENCH_<stamp>.json
 //	maxcutbench -json -compare BENCH_baseline.json -tolerance 20
 //	                       # CI regression gate: exit 1 on >20% ns/op slowdown
+//	maxcutbench -backend fused-z2,fused-full,dense
+//	                       # A/B: benchmark exactly these backends (16q p=3)
+//	maxcutbench -backend fused-z2,fused-full -qubits 20
+//	                       # same A/B at the 20-qubit scale point
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"qaoa2/internal/experiments"
 )
@@ -30,11 +35,41 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "run the backend microbenchmarks and write machine-readable results to BENCH_<stamp>.json instead of the Fig. 4 table")
 		compare   = flag.String("compare", "", "baseline BENCH_*.json to gate against (implies -json); exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 20, "allowed ns/op slowdown in percent for -compare")
+		backends  = flag.String("backend", "", "comma-separated backend names (e.g. fused-z2,fused-full,dense) to benchmark as a reproducible A/B subset (implies -json); incompatible with -compare")
+		qubits    = flag.Int("qubits", 16, "sub-graph qubit count for the -backend A/B shape")
+		layers    = flag.Int("layers", 3, "ansatz depth p for the -backend A/B shape")
 	)
 	flag.Parse()
 
+	if *backends != "" {
+		if *compare != "" {
+			log.Fatal("-backend selects an ad-hoc A/B subset; the -compare gate needs the full tracked configuration set")
+		}
+		var configs []benchConfig
+		for _, name := range strings.Split(*backends, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			configs = append(configs, benchConfig{backend: name, qubits: *qubits, layers: *layers})
+		}
+		if len(configs) == 0 {
+			log.Fatal("-backend given but no backend names parsed")
+		}
+		fresh, name, err := runJSONBench(configs, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", name)
+		for _, r := range fresh.Results {
+			fmt.Printf("%-12s %2dq p%d  %12.0f ns/op  %6d B/op  %4d allocs/op\n",
+				r.Backend, r.Qubits, r.Layers, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		return
+	}
+
 	if *jsonOut || *compare != "" {
-		fresh, name, err := runJSONBench()
+		fresh, name, err := runJSONBench(benchConfigs, true)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,7 +15,10 @@
 //     MaxCut cost Hamiltonian is diagonal (Lin et al., arXiv:2312.03019),
 //     precomputing its diagonal once per sub-graph and applying each
 //     γ-layer as a single element-wise phase pass, eliminating per-gate
-//     dispatch and circuit synthesis from the optimizer's inner loop.
+//     dispatch and circuit synthesis from the optimizer's inner loop. By
+//     default it additionally folds out the Z2 spin-flip symmetry,
+//     simulating the 2^(n−1) even-sector amplitudes only ("fused-full"
+//     names the unreduced variant).
 //
 //   - Noisy: trajectory-sampled Pauli noise around the Dense gate walk,
 //     the NISQ model of internal/qsim/noise.go.
@@ -140,19 +143,24 @@ func Default(prefs synth.Preferences) Backend {
 }
 
 // ByName resolves a CLI backend name. The empty string selects the
-// Default rule at solve time (represented as a nil Backend).
+// Default rule at solve time (represented as a nil Backend). "fused"
+// and its explicit alias "fused-z2" run the symmetry-reduced fast path;
+// "fused-full" is the unreduced engine, kept addressable for A/B
+// benchmarking against the reduction.
 func ByName(name string) (Backend, error) {
 	switch name {
 	case "":
 		return nil, nil
-	case "fused":
+	case "fused", "fused-z2":
 		return Fused{}, nil
+	case "fused-full":
+		return Fused{Full: true}, nil
 	case "dense":
 		return Dense{}, nil
 	case "noisy":
 		return Noisy{}, nil
 	default:
-		return nil, fmt.Errorf("backend: unknown backend %q (want fused|dense|noisy)", name)
+		return nil, fmt.Errorf("backend: unknown backend %q (want fused|fused-z2|fused-full|dense|noisy)", name)
 	}
 }
 

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -31,26 +32,55 @@ const maxPhaseLevels = 4096
 // route, so Report() is zero and Layout() is the identity. Callers that
 // need synthesis metrics use Dense (backend.Default selects it when
 // preferences are set).
-type Fused struct{}
+//
+// By default the fused path also exploits the Z2 spin-flip symmetry of
+// the QAOA-for-MaxCut evolution (qsim/z2.go): H_C and the RX mixer
+// commute with X^⊗n and |+⟩^⊗n is symmetric, so the state stays in the
+// even sector and the engine stores only the 2^(n−1) pair
+// representatives — half the memory and roughly half the sweep time at
+// every size. The reduction is exact (the parity tests pin it to the
+// Dense walk at 1e-12), and the returned states report full-space
+// measurement results (z2.go), so consumers cannot tell the difference.
+// Set Full (backend name "fused-full"), or the environment variable
+// QAOA2_NOZ2, to force the unreduced engine — the A/B control for
+// benchmarks and for bisecting any suspected reduction issue.
+type Fused struct {
+	// Full disables the Z2 symmetry reduction and simulates all 2^n
+	// amplitudes.
+	Full bool
+}
 
 // Name implements Backend.
-func (Fused) Name() string { return "fused" }
+func (f Fused) Name() string {
+	if f.Full {
+		return "fused-full"
+	}
+	return "fused"
+}
 
 // Prepare implements Backend: computes the cost diagonal once, plus —
 // when the graph has few distinct cut values — an indexed form that
 // replaces per-amplitude trigonometry with a per-level lookup, and
 // builds the persistent fused execution engine.
-func (Fused) Prepare(g *graph.Graph, cfg Config) (Ansatz, error) {
+func (f Fused) Prepare(g *graph.Graph, cfg Config) (Ansatz, error) {
 	if err := checkGraph(g, cfg); err != nil {
 		return nil, err
 	}
 	diag := CutTable(g, nil)
 	half := g.TotalWeight() / 2
-	shift := make([]float64, len(diag))
-	for i, v := range diag {
-		shift[i] = v - half
-	}
 	a := &fusedAnsatz{n: g.N(), layers: cfg.Layers, diag: diag}
+	// The Z2-reduced engine needs a pair to fold, i.e. at least two
+	// qubits; cut tables satisfy cut(x) = cut(~x), so the reduced phase
+	// tables are the prefix halves.
+	a.z2 = !f.Full && g.N() >= 2 && os.Getenv("QAOA2_NOZ2") == ""
+	phaseLen := len(diag)
+	if a.z2 {
+		phaseLen /= 2
+	}
+	shift := make([]float64, phaseLen)
+	for i := range shift {
+		shift[i] = diag[i] - half
+	}
 	a.levels, a.idx = indexLevels(shift, maxPhaseLevels)
 	if a.levels != nil {
 		// The indexed path never reads the dense shift table; drop it
@@ -96,10 +126,11 @@ func indexLevels(diag []float64, maxLevels int) ([]float64, []int32) {
 
 type fusedAnsatz struct {
 	n, layers int
-	diag      []float64 // cut-value table, the ⟨H_C⟩ diagonal
-	shift     []float64 // diag − W/2 (nil on the indexed path)
+	z2        bool      // engines run on the Z2-reduced half-vector
+	diag      []float64 // FULL cut-value table, the ⟨H_C⟩ diagonal
+	shift     []float64 // diag − W/2 (nil on the indexed path; half-length when z2)
 	levels    []float64 // distinct shift values (nil → Sincos fallback)
-	idx       []int32   // shift[i] = levels[idx[i]]
+	idx       []int32   // shift[i] = levels[idx[i]] (half-length when z2)
 	eng       *qsim.Engine
 	// batch holds one serial-mode engine per batch worker, sharing the
 	// read-only tables above; grown lazily by EvaluateBatch.
@@ -107,12 +138,20 @@ type fusedAnsatz struct {
 }
 
 // newEngine builds an execution engine over the ansatz's shared tables.
+// Diagonal() must keep returning the full 2^n table (sampled-energy
+// decoding indexes it with full basis states), so the reduced engine
+// takes the prefix half as a sub-slice.
 func (a *fusedAnsatz) newEngine() (*qsim.Engine, error) {
+	if a.z2 {
+		return qsim.NewZ2Engine(a.n, a.diag[:len(a.diag)/2], a.levels, a.idx, a.shift)
+	}
 	return qsim.NewEngine(a.n, a.diag, a.levels, a.idx, a.shift)
 }
 
 // Evaluate implements Ansatz. The returned state is the engine's reused
-// buffer, valid until the next Evaluate.
+// buffer, valid until the next Evaluate; on the default Z2 path it is a
+// reduced state (qsim.State with Z2Full() != 0), whose measurement
+// accessors are bit-identical to the expanded statevector's.
 func (a *fusedAnsatz) Evaluate(gammas, betas []float64) (float64, *qsim.State, error) {
 	if err := checkParams(a.layers, gammas, betas); err != nil {
 		return 0, nil, err

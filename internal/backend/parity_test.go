@@ -24,54 +24,100 @@ func decodeArgmax(g *graph.Graph, s *qsim.State) float64 {
 }
 
 func TestFusedMatchesDense(t *testing.T) {
-	for _, w := range []graph.Weighting{graph.Unweighted, graph.UniformWeights} {
-		for _, n := range []int{5, 8, 11} {
-			for seed := uint64(0); seed < 3; seed++ {
-				g := graph.ErdosRenyi(n, 0.45, w, rng.New(seed*31+uint64(n)))
-				if g.M() == 0 {
-					continue
-				}
-				for p := 1; p <= 3; p++ {
-					dAns, err := backend.Dense{}.Prepare(g, backend.Config{Layers: p})
-					if err != nil {
-						t.Fatal(err)
+	// Both fused variants are pinned to the Dense oracle: the default
+	// Z2-reduced engine (its state is expanded before comparing) and the
+	// explicit unreduced fused-full control. The size list crosses the
+	// reduced engine's single-tile / mirrored-pair kernel regimes. The
+	// env is pinned so the reduction assertions hold even on the CI leg
+	// that exports QAOA2_NOZ2=1 for the rest of the suite.
+	t.Setenv("QAOA2_NOZ2", "")
+	for _, fb := range []backend.Fused{{}, {Full: true}} {
+		for _, w := range []graph.Weighting{graph.Unweighted, graph.UniformWeights} {
+			for _, n := range []int{5, 8, 11, 13} {
+				for seed := uint64(0); seed < 3; seed++ {
+					g := graph.ErdosRenyi(n, 0.45, w, rng.New(seed*31+uint64(n)))
+					if g.M() == 0 {
+						continue
 					}
-					fAns, err := backend.Fused{}.Prepare(g, backend.Config{Layers: p})
-					if err != nil {
-						t.Fatal(err)
-					}
-					pr := rng.New(seed ^ 0xfeed)
-					gammas := make([]float64, p)
-					betas := make([]float64, p)
-					for l := range gammas {
-						gammas[l] = pr.Float64() * 2 * math.Pi
-						betas[l] = pr.Float64() * math.Pi
-					}
-					eD, sD, err := dAns.Evaluate(gammas, betas)
-					if err != nil {
-						t.Fatal(err)
-					}
-					eF, sF, err := fAns.Evaluate(gammas, betas)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if math.Abs(eD-eF) > 1e-12 {
-						t.Fatalf("w=%v n=%d seed=%d p=%d: energies %v vs %v", w, n, seed, p, eD, eF)
-					}
-					for i := 0; i < sD.Len(); i++ {
-						if d := cmplx.Abs(sD.Amp(uint64(i)) - sF.Amp(uint64(i))); d > 1e-12 {
-							t.Fatalf("w=%v n=%d seed=%d p=%d: amp %d differs by %v", w, n, seed, p, i, d)
+					for p := 1; p <= 3; p++ {
+						dAns, err := backend.Dense{}.Prepare(g, backend.Config{Layers: p})
+						if err != nil {
+							t.Fatal(err)
 						}
-					}
-					// Decoded cut parity: compare values, not indices — the
-					// x ↔ ~x spin-flip symmetry makes the argmax index
-					// legitimately degenerate.
-					if cD, cF := decodeArgmax(g, sD), decodeArgmax(g, sF); cD != cF {
-						t.Fatalf("w=%v n=%d seed=%d p=%d: decoded cuts %v vs %v", w, n, seed, p, cD, cF)
+						fAns, err := fb.Prepare(g, backend.Config{Layers: p})
+						if err != nil {
+							t.Fatal(err)
+						}
+						pr := rng.New(seed ^ 0xfeed)
+						gammas := make([]float64, p)
+						betas := make([]float64, p)
+						for l := range gammas {
+							gammas[l] = pr.Float64() * 2 * math.Pi
+							betas[l] = pr.Float64() * math.Pi
+						}
+						eD, sD, err := dAns.Evaluate(gammas, betas)
+						if err != nil {
+							t.Fatal(err)
+						}
+						eF, sF, err := fAns.Evaluate(gammas, betas)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if math.Abs(eD-eF) > 1e-12 {
+							t.Fatalf("%s w=%v n=%d seed=%d p=%d: energies %v vs %v", fb.Name(), w, n, seed, p, eD, eF)
+						}
+						if !fb.Full && (sF.Z2Full() != n || sF.Len() != 1<<uint(n-1)) {
+							t.Fatalf("%s w=%v n=%d seed=%d p=%d: state not reduced: Z2Full=%d Len=%d",
+								fb.Name(), w, n, seed, p, sF.Z2Full(), sF.Len())
+						}
+						full := sF.ExpandZ2()
+						for i := 0; i < sD.Len(); i++ {
+							if d := cmplx.Abs(sD.Amp(uint64(i)) - full.Amp(uint64(i))); d > 1e-12 {
+								t.Fatalf("%s w=%v n=%d seed=%d p=%d: amp %d differs by %v", fb.Name(), w, n, seed, p, i, d)
+							}
+						}
+						// Decoded cut parity: compare values, not indices — the
+						// x ↔ ~x spin-flip symmetry makes the argmax index
+						// legitimately degenerate.
+						if cD, cF := decodeArgmax(g, sD), decodeArgmax(g, sF); cD != cF {
+							t.Fatalf("%s w=%v n=%d seed=%d p=%d: decoded cuts %v vs %v", fb.Name(), w, n, seed, p, cD, cF)
+						}
 					}
 				}
 			}
 		}
+	}
+}
+
+// TestFusedZ2OptOut pins both reduction escape hatches: the fused-full
+// backend variant and the QAOA2_NOZ2 environment variable must produce
+// unreduced full-length states.
+func TestFusedZ2OptOut(t *testing.T) {
+	g := graph.ErdosRenyi(7, 0.5, graph.Unweighted, rng.New(11))
+	gammas, betas := []float64{0.4}, []float64{0.9}
+	evaluate := func(b backend.Backend) *qsim.State {
+		t.Helper()
+		ans, err := b.Prepare(g, backend.Config{Layers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s, err := ans.Evaluate(gammas, betas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	t.Setenv("QAOA2_NOZ2", "")
+	if s := evaluate(backend.Fused{}); s.Z2Full() != g.N() {
+		t.Fatalf("default fused state not reduced: Z2Full=%d", s.Z2Full())
+	}
+	if s := evaluate(backend.Fused{Full: true}); s.Z2Full() != 0 || s.Len() != 1<<uint(g.N()) {
+		t.Fatalf("fused-full state reduced: Z2Full=%d Len=%d", s.Z2Full(), s.Len())
+	}
+	t.Setenv("QAOA2_NOZ2", "1")
+	if s := evaluate(backend.Fused{}); s.Z2Full() != 0 || s.Len() != 1<<uint(g.N()) {
+		t.Fatalf("QAOA2_NOZ2 state reduced: Z2Full=%d Len=%d", s.Z2Full(), s.Len())
 	}
 }
 

@@ -150,7 +150,10 @@ type Result struct {
 	// Report under backends that skip gate-level synthesis (fused).
 	Report synth.Report
 	// State is the final statevector at the optimized parameters;
-	// consumers such as RQAOA read correlations from it.
+	// consumers such as RQAOA read correlations from it. Under the
+	// default fused backend it is a Z2-reduced state (Z2Full() != 0)
+	// whose measurement accessors report full-space results; call
+	// ExpandZ2 for raw full-vector amplitude access.
 	State *qsim.State
 	// Layout maps logical node → physical wire of State (nil when
 	// identity, i.e. no routing was requested).
@@ -442,6 +445,12 @@ func multiStart(ans backend.Ansatz, opts Options, x0 []float64, shotRand *rng.Ra
 // ZZCorrelation computes ⟨Z_i Z_j⟩ for logical nodes i, j from a final
 // state, honoring an optional routing layout. RQAOA ranks edges by the
 // magnitude of this correlation.
+//
+// The loop works unchanged on a Z2-reduced state: Z_i Z_j parity is
+// invariant under global spin flip, so every stored representative
+// carries its pair's combined (doubled) probability at the correct
+// sign — including qubit Z2Full()−1, whose bit is zero on every
+// representative by construction.
 func ZZCorrelation(s *qsim.State, layout []int, i, j int) float64 {
 	bi := uint64(1) << uint(physOf(layout, i))
 	bj := uint64(1) << uint(physOf(layout, j))

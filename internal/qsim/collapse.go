@@ -13,7 +13,12 @@ import (
 // renormalizing) and returns the observed bit. This is the primitive a
 // mid-circuit-measurement workflow needs; the QAOA pipeline itself only
 // measures terminally via Sample.
+//
+// A projective measurement breaks the global spin-flip symmetry, so on
+// a Z2-reduced state (z2.go) the full statevector is materialized in
+// place first; q addresses the FULL qubit range [0, Z2Full()).
 func (s *State) MeasureQubit(q int, r *rng.Rand) uint8 {
+	s.materializeZ2()
 	s.checkQubit(q)
 	bit := uint64(1) << uint(q)
 	// Marginal P(qubit q = 1).
@@ -34,8 +39,11 @@ func (s *State) MeasureQubit(q int, r *rng.Rand) uint8 {
 
 // PostSelect forces qubit q to the given value, collapsing the state. It
 // returns an error when the requested branch has (near-)zero
-// probability, which would leave no state to renormalize.
+// probability, which would leave no state to renormalize. Like
+// MeasureQubit, it materializes Z2-reduced states first — the collapsed
+// state is not symmetric.
 func (s *State) PostSelect(q int, value uint8, minProb float64) error {
+	s.materializeZ2()
 	s.checkQubit(q)
 	if value > 1 {
 		return fmt.Errorf("qsim: post-select value %d not a bit", value)

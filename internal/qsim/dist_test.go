@@ -206,6 +206,42 @@ func TestDistSingleRankDegeneratesToSerial(t *testing.T) {
 	}
 }
 
+// TestDistStatsCounts pins the full communication ledger of a scripted
+// program against hand-computed counts. 4 ranks over 4 qubits: qubits
+// 0,1 are local, 2,3 are global; each slice holds 2^2 amplitudes = 64
+// bytes, so every exchange participant contributes one message of 64
+// bytes.
+func TestDistStatsCounts(t *testing.T) {
+	d, err := NewDistPlusState(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sliceBytes = (1 << 2) * 16
+
+	d.ApplyH(0)           // local                               → 1 local gate
+	d.ApplyH(1)           // local                               → 1 local gate
+	d.ApplyRX(2, 0.3)     // global: all 4 ranks exchange        → 1 comm gate, 4 msgs
+	d.ApplyRZZ(2, 3, 0.7) // diagonal: never communicates        → 1 local gate
+	d.ApplyCNOT(2, 3)     // global-global: control-set ranks    → 1 comm gate, 2 msgs
+	d.ApplyCNOT(0, 2)     // local control, global target        → 1 comm gate, 4 msgs
+	d.ApplyCNOT(2, 0)     // global control, local target: no comm → 1 local gate
+	d.ApplyCZ(2, 3)       // diagonal                            → 1 local gate
+	// Swap(0,3) = CNOT(0,3) + CNOT(3,0) + CNOT(0,3): two local-control/
+	// global-target exchanges (4 msgs each) around one communication-free
+	// global-control/local-target gate.
+	d.ApplySwap(0, 3) // → 2 comm gates + 1 local gate, 8 msgs
+
+	want := DistStats{
+		LocalGates:   6,
+		CommGates:    5,
+		MessagesSent: 18,
+		BytesSent:    18 * sliceBytes,
+	}
+	if d.Stats != want {
+		t.Fatalf("stats %+v, want %+v", d.Stats, want)
+	}
+}
+
 func BenchmarkDistH16Q4Ranks(b *testing.B) {
 	d, err := NewDistPlusState(16, 4)
 	if err != nil {

@@ -43,7 +43,8 @@ type Engine struct {
 	shift  []float64    // dense phase diagonal (fallback path)
 	phases []complex128 // per-layer scratch: e^{-iγ·levels[j]}
 
-	partials []float64 // per-chunk energy accumulators
+	partials []float64      // per-chunk energy accumulators
+	mirrors  [][]complex128 // per-worker mirror-pair scratch (Z2 engines)
 	wg       sync.WaitGroup
 
 	// Current pass parameters, read by the prepared bodies.
@@ -53,7 +54,8 @@ type Engine struct {
 	expect bool    // accumulate ⟨D⟩ during this pass
 	g0, m  int     // current high-group qubit range [g0, g0+m)
 
-	m0       int // low-group qubit count: min(n, lowBlockQubits)
+	m0       int  // low-group qubit count: min(n, lowBlockQubits)
+	z2       bool // state is the Z2-reduced half-vector of n+1 qubits
 	lowBody  func(w, start, end int)
 	highBody func(w, start, end int)
 }
@@ -69,6 +71,60 @@ func NewEngine(n int, diag []float64, levels []float64, idx []int32, shift []flo
 	if err != nil {
 		return nil, err
 	}
+	return newEngine(s, diag, levels, idx, shift)
+}
+
+// NewZ2Engine builds a symmetry-reduced evaluator for an nFull-qubit
+// Z2-symmetric cost diagonal (diagonal(i) == diagonal(~i), which holds
+// for every MaxCut cut table): the engine stores only the 2^(nFull−1)
+// even-sector amplitudes (z2.go) and runs every fused sweep on the
+// half-vector. All tables are the REDUCED prefixes — diag, idx and
+// shift have 2^(nFull−1) entries, i.e. fullTable[:2^(nFull−1)], since
+// representatives index the prefix directly.
+//
+// The mixer layer on the reduced state is the blocked butterfly on the
+// nFull−1 effective qubits plus the boundary rotation of qubit nFull−1,
+// which acts through the pairing i ↔ ~i; the engine fuses the boundary
+// level into the mirrored low sweep (runMirrorChunk), so a layer still
+// costs ⌈2 + (n−11)/6⌉ sweeps — on half the amplitudes.
+func NewZ2Engine(nFull int, diag []float64, levels []float64, idx []int32, shift []float64) (*Engine, error) {
+	s, err := NewZ2State(nFull)
+	if err != nil {
+		return nil, err
+	}
+	e, err := newEngine(s, diag, levels, idx, shift)
+	if err != nil {
+		return nil, err
+	}
+	e.z2 = true
+	if e.m0 == lowBlockQubits {
+		// The mirror sweep works on a 2-tile scratch buffer; halving the
+		// tile keeps the pair at 16 KiB — the same L1 working set the
+		// full engine's low sweep was sized for.
+		e.m0 = lowBlockQubits - 1
+	}
+	e.mirrors = mirrorScratch(len(e.partials), e.m0)
+	e.lowBody = e.runMirrorChunk
+	return e, nil
+}
+
+// mirrorScratch allocates one mirror-pair buffer per worker. The
+// buffers live on the heap rather than the chunk bodies' stacks so the
+// vector kernel sees the same allocator alignment as the statevector
+// itself.
+func mirrorScratch(workers, m0 int) [][]complex128 {
+	sc := make([][]complex128, workers)
+	for i := range sc {
+		sc[i] = make([]complex128, 2<<uint(m0))
+	}
+	return sc
+}
+
+// newEngine wires an evaluator over an allocated state buffer; table
+// lengths must match the state (for a Z2-reduced state, the halved
+// index space).
+func newEngine(s *State, diag []float64, levels []float64, idx []int32, shift []float64) (*Engine, error) {
+	n := s.N()
 	if len(diag) != s.Len() {
 		return nil, fmt.Errorf("qsim: engine diagonal has %d entries, want %d", len(diag), s.Len())
 	}
@@ -131,6 +187,16 @@ func (e *Engine) Evaluate(gammas, betas []float64) float64 {
 	}
 	groups := 1 + (e.n-e.m0+mixerBlockQubits-1)/mixerBlockQubits
 	tiles := len(e.state.amps) >> uint(e.m0)
+	lowTotal, lowLen := tiles, 1<<uint(e.m0)
+	if e.z2 {
+		// The mirrored low sweep consumes tile PAIRS (t, tiles−1−t) so it
+		// can fuse the boundary rotation into the tile butterfly.
+		lowTotal = tiles / 2
+		if lowTotal == 0 {
+			lowTotal = 1
+		}
+		lowLen *= 2
+	}
 	for l := 0; l < p; l++ {
 		e.gamma = gammas[l]
 		e.c = math.Cos(betas[l]) // RX(2β): θ/2 = β
@@ -151,7 +217,7 @@ func (e *Engine) Evaluate(gammas, betas []float64) float64 {
 		if e.expect {
 			e.resetPartials()
 		}
-		e.dispatch(tiles, 1<<uint(e.m0), e.lowBody)
+		e.dispatch(lowTotal, lowLen, e.lowBody)
 		for g0 := e.m0; g0 < e.n; g0 += mixerBlockQubits {
 			e.g0 = g0
 			e.m = e.n - g0
@@ -191,6 +257,9 @@ func (e *Engine) dispatch(total, itemLen int, body func(w, start, end int)) {
 		// The pool grew after construction (pool override on the state);
 		// re-size outside the steady-state path.
 		e.partials = make([]float64, p.workers)
+		if e.z2 {
+			e.mirrors = mirrorScratch(p.workers, e.m0)
+		}
 	}
 	p.run(total, body, &e.wg)
 }
@@ -207,34 +276,7 @@ func (e *Engine) runLowChunk(w, start, end int) {
 	for t := start; t < end; t++ {
 		base := t * tl
 		buf := amps[base : base+tl]
-		if e.levels != nil {
-			idx := e.idx[base : base+tl]
-			ph := e.phases
-			if e.first {
-				for i := range buf {
-					buf[i] = ph[idx[i]]
-				}
-			} else {
-				for i := range buf {
-					buf[i] *= ph[idx[i]]
-				}
-			}
-		} else {
-			sh := e.shift[base : base+tl]
-			gamma := e.gamma
-			if e.first {
-				amp0 := 1 / math.Sqrt(float64(len(amps)))
-				for i := range buf {
-					sin, cos := math.Sincos(-gamma * sh[i])
-					buf[i] = complex(amp0*cos, amp0*sin)
-				}
-			} else {
-				for i := range buf {
-					sin, cos := math.Sincos(-gamma * sh[i])
-					buf[i] *= complex(cos, sin)
-				}
-			}
-		}
+		e.phaseTile(buf, base)
 		rxTile(buf, 1, c, sn)
 		if e.expect {
 			d := e.diag[base : base+tl]
@@ -247,6 +289,187 @@ func (e *Engine) runLowChunk(w, start, end int) {
 	}
 	if e.expect {
 		e.partials[w] += acc
+	}
+}
+
+// phaseTile applies the current layer's cost phases to one
+// cache-resident tile — synthesizing phase·|+⟩ in place on the first
+// layer — with base the tile's offset into the diagonal tables. On a
+// Z2 engine len(e.state.amps) is the half-vector length, which makes
+// the first-layer amplitude 1/√(2^(nFull−1)) = √2·2^(-nFull/2): the
+// reduction's renormalization falls out automatically.
+func (e *Engine) phaseTile(buf []complex128, base int) {
+	if e.levels != nil {
+		idx := e.idx[base : base+len(buf)]
+		ph := e.phases
+		if e.first {
+			for i := range buf {
+				buf[i] = ph[idx[i]]
+			}
+		} else {
+			for i := range buf {
+				buf[i] *= ph[idx[i]]
+			}
+		}
+		return
+	}
+	sh := e.shift[base : base+len(buf)]
+	gamma := e.gamma
+	if e.first {
+		amp0 := 1 / math.Sqrt(float64(len(e.state.amps)))
+		for i := range buf {
+			sin, cos := math.Sincos(-gamma * sh[i])
+			buf[i] = complex(amp0*cos, amp0*sin)
+		}
+	} else {
+		for i := range buf {
+			sin, cos := math.Sincos(-gamma * sh[i])
+			buf[i] *= complex(cos, sin)
+		}
+	}
+}
+
+// phaseTileInto is phaseTile fused with the mirror sweep's scratch
+// load: it reads src (one tile of the half-vector), applies the layer's
+// phases, and writes the result to dst — in index order when reversed
+// is false, back-to-front (dst[i] ← src[len−1−i]) when true. base is
+// the tile's offset into the diagonal tables; the tables are addressed
+// in SRC order, so the reversed copy phases each amplitude with its own
+// diagonal entry. On the first layer src is not read at all — the
+// phased |+⟩ synthesis writes straight into scratch.
+func (e *Engine) phaseTileInto(dst, src []complex128, base int, reversed bool) {
+	last := len(dst) - 1
+	if e.levels != nil {
+		idx := e.idx[base : base+len(dst)]
+		ph := e.phases
+		switch {
+		case e.first && reversed:
+			for i := range dst {
+				dst[i] = ph[idx[last-i]]
+			}
+		case e.first:
+			for i := range dst {
+				dst[i] = ph[idx[i]]
+			}
+		case reversed:
+			for i := range dst {
+				j := last - i
+				dst[i] = src[j] * ph[idx[j]]
+			}
+		default:
+			for i := range dst {
+				dst[i] = src[i] * ph[idx[i]]
+			}
+		}
+		return
+	}
+	sh := e.shift[base : base+len(dst)]
+	gamma := e.gamma
+	if e.first {
+		amp0 := 1 / math.Sqrt(float64(len(e.state.amps)))
+		for i := range dst {
+			j := i
+			if reversed {
+				j = last - i
+			}
+			sin, cos := math.Sincos(-gamma * sh[j])
+			dst[i] = complex(amp0*cos, amp0*sin)
+		}
+		return
+	}
+	for i := range dst {
+		j := i
+		if reversed {
+			j = last - i
+		}
+		sin, cos := math.Sincos(-gamma * sh[j])
+		dst[i] = src[j] * complex(cos, sin)
+	}
+}
+
+// runMirrorChunk is the Z2 engine's fused low sweep. The boundary
+// rotation — RX on full qubit nFull−1, which pairs reduced index i with
+// its complement maskLow^i — is an index REVERSAL, not a strided
+// butterfly, so it cannot ride the blocked kernels directly. Instead
+// the sweep processes mirror tile pairs: tile t is copied forward and
+// tile tiles−1−t REVERSED into one 2·tileLen scratch buffer, where
+//
+//   - butterfly levels h ≤ tileLen/2 act inside each half, applying the
+//     low-qubit rotations to both tiles (the reversed copy swaps each
+//     pair's 0/1 roles, which the symmetric RX matrix can't tell), and
+//   - level h = tileLen pairs forward[b] with reversed[tileLen−1−b] —
+//     exactly the boundary pairing i ↔ maskLow^i.
+//
+// One rxTile call on the scratch therefore applies ALL low levels plus
+// the boundary to both tiles, inheriting the AVX2 kernel and its
+// portable fallback, and the phase/energy folds run on the same
+// cache-resident data. Chunk index t ranges over pairs, [0, tiles/2).
+func (e *Engine) runMirrorChunk(w, start, end int) {
+	amps := e.state.amps
+	tl := 1 << uint(e.m0)
+	c, sn := e.c, e.sn
+	acc := 0.0
+	tiles := len(amps) >> uint(e.m0)
+	if tiles == 1 {
+		// Single-tile half-vector (nFull ≤ lowBlockQubits+1): all low
+		// levels in place, then the boundary reversal as a scalar pass.
+		e.phaseTile(amps, 0)
+		rxTile(amps, 1, c, sn)
+		z2Boundary(amps, c, sn)
+		if e.expect {
+			for i := range amps {
+				a := amps[i]
+				re, im := real(a), imag(a)
+				acc += (re*re + im*im) * e.diag[i]
+			}
+			e.partials[w] += acc
+		}
+		return
+	}
+	sc := e.mirrors[w][:2*tl]
+	for t := start; t < end; t++ {
+		fb := t * tl
+		rb := (tiles - 1 - t) * tl
+		fwd := amps[fb : fb+tl]
+		rev := amps[rb : rb+tl]
+		e.phaseTileInto(sc[:tl], fwd, fb, false)
+		e.phaseTileInto(sc[tl:2*tl], rev, rb, true)
+		rxTile(sc, 1, c, sn)
+		copy(fwd, sc[:tl])
+		for i := 0; i < tl; i++ {
+			rev[tl-1-i] = sc[tl+i]
+		}
+		if e.expect {
+			df := e.diag[fb : fb+tl]
+			dr := e.diag[rb : rb+tl]
+			for i := range fwd {
+				a := fwd[i]
+				re, im := real(a), imag(a)
+				acc += (re*re + im*im) * df[i]
+			}
+			for i := range rev {
+				a := rev[i]
+				re, im := real(a), imag(a)
+				acc += (re*re + im*im) * dr[i]
+			}
+		}
+	}
+	if e.expect {
+		e.partials[w] += acc
+	}
+}
+
+// z2Boundary applies the boundary rotation to a single-tile reduced
+// vector: the pairing i ↔ maskLow^i is the index reversal i ↔ len−1−i,
+// rotated with the exact arithmetic of the ApplyRX kernel (the RX
+// matrix is symmetric, so either pair member may take the 0-side row).
+func z2Boundary(buf []complex128, c, sn float64) {
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		a0, a1 := buf[i], buf[j]
+		re0, im0 := real(a0), imag(a0)
+		re1, im1 := real(a1), imag(a1)
+		buf[i] = complex(c*re0+sn*im1, c*im0-sn*re1)
+		buf[j] = complex(sn*im0+c*re1, c*im1-sn*re0)
 	}
 }
 

@@ -14,9 +14,23 @@ func (s *State) Probability(i uint64) float64 {
 	return re*re + im*im
 }
 
-// Probabilities materializes the full 2^n probability vector. Callers
-// working at high qubit counts should prefer the streaming accessors.
+// Probabilities materializes the full 2^n probability vector — for a
+// Z2-reduced state, the probabilities of the EXPANDED computational
+// basis (length 2^Z2Full()), so consumers see identical semantics on
+// either representation. Callers working at high qubit counts should
+// prefer the streaming accessors.
 func (s *State) Probabilities() []float64 {
+	if s.z2Full != 0 {
+		half := len(s.amps)
+		mask := 2*half - 1
+		p := make([]float64, 2*half)
+		for i, a := range s.amps {
+			v := z2PairProb(a)
+			p[i] = v
+			p[mask^i] = v
+		}
+		return p
+	}
 	p := make([]float64, len(s.amps))
 	s.parFor(len(s.amps), func(start, end int) {
 		for i := start; i < end; i++ {
@@ -32,6 +46,11 @@ func (s *State) Probabilities() []float64 {
 // paper's solution-decoding rule: "the bit string corresponding to the
 // highest amplitude ... is chosen as a solution"). Ties resolve to the
 // smallest index for determinism.
+//
+// On a Z2-reduced state (z2.go) the scan over representatives IS the
+// full-space argmax: pair members have equal probability and the
+// representative is the numerically smaller index, so the returned
+// index matches the expanded state's argmax exactly.
 func (s *State) MaxAmpIndex() uint64 {
 	best := uint64(0)
 	bestP := -1.0
@@ -52,12 +71,20 @@ func (s *State) MaxAmpIndex() uint64 {
 // index). This is the paper's proposed improvement over single-best
 // decoding ("consider a number of highest amplitudes and chose the bit
 // string yielding the highest cut").
+// On a Z2-reduced state the selection runs over the VIRTUAL expanded
+// basis — each stored pair contributes both its representative and the
+// complement at equal probability — so the result is identical to
+// calling TopAmpIndices on the expanded state.
 func (s *State) TopAmpIndices(k int) []uint64 {
+	virtual := len(s.amps)
+	if s.z2Full != 0 {
+		virtual *= 2
+	}
 	if k < 1 {
 		k = 1
 	}
-	if k > len(s.amps) {
-		k = len(s.amps)
+	if k > virtual {
+		k = virtual
 	}
 	type entry struct {
 		p float64
@@ -66,24 +93,35 @@ func (s *State) TopAmpIndices(k int) []uint64 {
 	// Bounded selection: keep a slice of the k best, heapless since k is
 	// tiny in practice (k ≤ 32 in the experiments).
 	top := make([]entry, 0, k+1)
-	for i := range s.amps {
-		a := s.amps[i]
-		re, im := real(a), imag(a)
-		p := re*re + im*im
+	push := func(p float64, i uint64) {
 		if len(top) == k && p <= top[k-1].p {
-			continue
+			return
 		}
 		pos := sort.Search(len(top), func(j int) bool {
 			if top[j].p != p {
 				return top[j].p < p
 			}
-			return top[j].i > uint64(i)
+			return top[j].i > i
 		})
 		top = append(top, entry{})
 		copy(top[pos+1:], top[pos:])
-		top[pos] = entry{p: p, i: uint64(i)}
+		top[pos] = entry{p: p, i: i}
 		if len(top) > k {
 			top = top[:k]
+		}
+	}
+	if s.z2Full != 0 {
+		mask := uint64(2*len(s.amps) - 1)
+		for i := range s.amps {
+			p := z2PairProb(s.amps[i])
+			push(p, uint64(i))
+			push(p, mask^uint64(i))
+		}
+	} else {
+		for i := range s.amps {
+			a := s.amps[i]
+			re, im := real(a), imag(a)
+			push(re*re+im*im, uint64(i))
 		}
 	}
 	out := make([]uint64, len(top))
@@ -97,6 +135,15 @@ func (s *State) TopAmpIndices(k int) []uint64 {
 // returning a histogram basis-index → count. It uses the inverse-CDF
 // method with sorted uniforms: O(2^n + shots·log shots) and no 2^n
 // auxiliary allocation beyond the caller-visible histogram.
+//
+// On a Z2-reduced state the walk runs over the VIRTUAL expanded basis
+// in index order — the lower half reads representatives ascending, the
+// upper half reads their complements (the pair of full index j is
+// mask^j, so the reduced buffer is read descending) at the same halved
+// probability. The CDF therefore matches the expanded state's exactly
+// and the histogram keys are FULL basis indices: sampling from the
+// reduced state is fair by construction and bit-identical to sampling
+// the expanded state with the same random stream.
 func (s *State) Sample(shots int, r *rng.Rand) map[uint64]int {
 	hist := make(map[uint64]int)
 	if shots <= 0 {
@@ -107,14 +154,28 @@ func (s *State) Sample(shots int, r *rng.Rand) map[uint64]int {
 		u[i] = r.Float64()
 	}
 	sort.Float64s(u)
-	cum := 0.0
-	next := 0
-	for i := range s.amps {
+	virtual := uint64(len(s.amps))
+	prob := func(i uint64) float64 {
 		a := s.amps[i]
 		re, im := real(a), imag(a)
-		cum += re*re + im*im
+		return re*re + im*im
+	}
+	if s.z2Full != 0 {
+		virtual *= 2
+		mask := virtual - 1
+		prob = func(i uint64) float64 {
+			if i >= virtual/2 {
+				i = mask ^ i
+			}
+			return z2PairProb(s.amps[i])
+		}
+	}
+	cum := 0.0
+	next := 0
+	for i := uint64(0); i < virtual; i++ {
+		cum += prob(i)
 		for next < shots && u[next] < cum {
-			hist[uint64(i)]++
+			hist[i]++
 			next++
 		}
 		if next == shots {
@@ -124,7 +185,7 @@ func (s *State) Sample(shots int, r *rng.Rand) map[uint64]int {
 	// Numerical round-off can leave trailing draws; assign them to the
 	// last basis state.
 	for next < shots {
-		hist[uint64(len(s.amps)-1)]++
+		hist[virtual-1]++
 		next++
 	}
 	return hist

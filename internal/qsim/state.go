@@ -52,6 +52,10 @@ type State struct {
 	// evaluators set it so concurrent per-worker states do not fight
 	// over the pool (outer-level parallelism already saturates cores).
 	serial bool
+	// z2Full marks a Z2-symmetry-reduced state (z2.go): nonzero nFull
+	// means amps is the even-sector half-vector of an nFull-qubit
+	// symmetric state and n == nFull−1.
+	z2Full int
 }
 
 // NewState allocates |0...0⟩ on n qubits.
@@ -94,9 +98,10 @@ func (s *State) Amp(i uint64) complex128 { return s.amps[i] }
 // SetAmp assigns the amplitude of basis state i (for tests).
 func (s *State) SetAmp(i uint64, v complex128) { s.amps[i] = v }
 
-// Clone deep-copies the state (including its serial/pool kernel mode).
+// Clone deep-copies the state (including its serial/pool kernel mode
+// and any Z2-reduction mark).
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amps: make([]complex128, len(s.amps)), pool: s.pool, serial: s.serial}
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps)), pool: s.pool, serial: s.serial, z2Full: s.z2Full}
 	copy(c.amps, s.amps)
 	return c
 }

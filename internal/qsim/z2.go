@@ -1,0 +1,104 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Z2 symmetry reduction. The MaxCut cost Hamiltonian and the RX mixer
+// both commute with the global spin-flip operator X⊗…⊗X, and the QAOA
+// initial state |+⟩^⊗n is its +1 eigenvector — so the entire evolution
+// lives in the even-parity sector, where every amplitude satisfies
+// amp(i) = amp(~i) (~ = bitwise complement over n bits). A reduced
+// State stores only one member of each (i, ~i) pair: the REPRESENTATIVE
+// is the index with bit n−1 clear, so representatives are exactly the
+// indices [0, 2^(n−1)) and the reduced vector is addressed by the low
+// n−1 bits directly. Amplitudes are stored renormalized,
+//
+//	a[i] = √2 · amp(i),   Σ |a[i]|² = 1,
+//
+// which makes the reduced vector a unit-norm (n−1)-qubit statevector:
+// every blocked kernel, the worker pool, and the expectation fold apply
+// unchanged, on half the memory and half the sweep length — one free
+// qubit at every size (Lin et al., arXiv:2312.03019). Diagonal tables
+// restrict to the prefix table[:2^(n−1)], because table(i) = table(~i)
+// and representatives index the prefix directly.
+//
+// The measurement layer (measure.go) understands reduced states and
+// reports FULL-space results — Sample, TopAmpIndices and MaxAmpIndex on
+// a reduced state are bit-identical to the same calls on the expanded
+// 2^n state. Mutating collapse operations (MeasureQubit, PostSelect)
+// break the symmetry, so they materialize the full vector first.
+
+// Z2Full reports the reduction: nonzero nFull means this State is the
+// even-sector half-vector of an nFull-qubit Z2-symmetric state (and
+// N()/Len() describe the nFull−1 effective qubits actually stored);
+// zero means an ordinary full statevector.
+func (s *State) Z2Full() int { return s.z2Full }
+
+// NewZ2State allocates the Z2-reduced half-vector of an nFull-qubit
+// symmetric state: 2^(nFull−1) amplitudes behaving as an (nFull−1)-qubit
+// State for every kernel. The state starts as the reduction of the
+// symmetric basis mix (|0…0⟩ + |1…1⟩)/√2.
+func NewZ2State(nFull int) (*State, error) {
+	if nFull < 2 {
+		return nil, fmt.Errorf("qsim: z2 reduction needs at least 2 qubits, got %d", nFull)
+	}
+	if nFull > MaxQubits {
+		return nil, fmt.Errorf("qsim: %d qubits exceeds MaxQubits=%d", nFull, MaxQubits)
+	}
+	s, err := NewState(nFull - 1)
+	if err != nil {
+		return nil, err
+	}
+	s.z2Full = nFull
+	return s, nil
+}
+
+// ExpandZ2 materializes the full 2^n statevector of a reduced state
+// into a new State: amp(i) = a[rep(i)]/√2, where rep(i) is i with bit
+// n−1 cleared by complementing. Ordinary states are returned unchanged.
+func (s *State) ExpandZ2() *State {
+	if s.z2Full == 0 {
+		return s
+	}
+	f := &State{n: s.z2Full, amps: s.expandedAmps(), pool: s.pool, serial: s.serial}
+	return f
+}
+
+// materializeZ2 converts a reduced state to its full form in place,
+// clearing the reduction mark. Collapse operations call it before
+// mutating, because a post-measurement state is no longer symmetric.
+func (s *State) materializeZ2() {
+	if s.z2Full == 0 {
+		return
+	}
+	s.n = s.z2Full
+	s.amps = s.expandedAmps()
+	s.z2Full = 0
+}
+
+// z2PairProb is the full-basis probability of either member of the
+// stored pair: |a·2^{-1/2}|², computed with the exact floating-point
+// operations expandedAmps uses — so measurement results on the reduced
+// state are bit-identical to the same calls on the expansion.
+func z2PairProb(a complex128) float64 {
+	v := a * complex(1/math.Sqrt2, 0)
+	re, im := real(v), imag(v)
+	return re*re + im*im
+}
+
+// expandedAmps builds the full 2^n amplitude buffer from the reduced
+// half-vector.
+func (s *State) expandedAmps() []complex128 {
+	half := len(s.amps)
+	mask := uint64(2*half - 1)
+	full := make([]complex128, 2*half)
+	inv := complex(1/math.Sqrt2, 0)
+	for i, a := range s.amps {
+		v := a * inv
+		full[i] = v
+		full[mask^uint64(i)] = v
+	}
+	return full
+}

@@ -124,14 +124,17 @@ type (
 	BackendConfig = backend.Config
 	// DenseBackend is the reference synth→qsim gate walk.
 	DenseBackend = backend.Dense
-	// FusedBackend is the diagonal-cost fast path (the default).
+	// FusedBackend is the diagonal-cost fast path (the default). It
+	// simulates only the 2^(n−1) Z2 even-sector amplitudes unless Full
+	// is set (or QAOA2_NOZ2 is in the environment).
 	FusedBackend = backend.Fused
 	// NoisyBackend averages trajectory-sampled Pauli noise.
 	NoisyBackend = backend.Noisy
 )
 
-// BackendByName resolves a CLI backend name ("fused", "dense", "noisy";
-// "" selects the default rule at solve time).
+// BackendByName resolves a CLI backend name ("fused" and its alias
+// "fused-z2", the unreduced "fused-full", "dense", "noisy"; "" selects
+// the default rule at solve time).
 func BackendByName(name string) (Backend, error) { return backend.ByName(name) }
 
 // BatchEvaluator is the optional batched extension of Ansatz

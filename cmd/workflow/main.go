@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,7 +26,17 @@ import (
 
 	"qaoa2"
 	"qaoa2/internal/experiments"
+	"qaoa2/internal/retry"
 	"qaoa2/internal/serve"
+)
+
+// Submission failures split into two operator-actionable classes, both
+// stderr + exit 1: an unreachable daemon (network/retry problem — fix
+// the endpoint or start qaoa2d) versus a job the daemon actively
+// rejected or failed (request problem — fix the solver name / graph).
+var (
+	errDaemonUnreachable = errors.New("daemon unreachable after retries")
+	errJobFailed         = errors.New("job failed remotely")
 )
 
 func main() {
@@ -123,15 +134,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // submitDemo runs the runtime solve remotely: it submits the same
-// generated instance to a qaoa2d daemon through the serve client and
-// streams the job's NDJSON progress events.
+// generated instance to a qaoa2d daemon through the serve client —
+// retrying transient failures and reconnecting through stream drops —
+// and streams the job's NDJSON progress events. Failures come back
+// wrapped as errDaemonUnreachable or errJobFailed so the exit path
+// tells the operator which side to fix.
 func submitDemo(w io.Writer, base string, nodes int, p float64, maxQubits, parallelism int,
 	seed uint64, solver, merge string) error {
 	g := qaoa2.ErdosRenyi(nodes, p, qaoa2.Unweighted, qaoa2.NewRand(seed))
 	fmt.Fprintf(w, "remote solve of %v via %s (cap %d qubits, solver %s, merge %s)\n",
 		g, base, maxQubits, solver, merge)
 
-	client := &qaoa2.ServeClient{Base: base}
+	client := &qaoa2.ServeClient{Base: base, Retry: retry.Default(seed)}
 	req := qaoa2.SolveRequest{
 		Graph:       qaoa2.GraphSpecOf(g),
 		MaxQubits:   maxQubits,
@@ -155,14 +169,19 @@ func submitDemo(w io.Writer, base string, nodes int, p float64, maxQubits, paral
 		}
 	})
 	if err != nil {
-		return err
+		if errors.Is(err, retry.ErrExhausted) || errors.Is(err, retry.ErrOpen) ||
+			retry.Classify(err) == retry.Retryable {
+			return fmt.Errorf("%w: %w", errDaemonUnreachable, err)
+		}
+		// The daemon answered and said no (bad request, unknown solver).
+		return fmt.Errorf("%w: %w", errJobFailed, err)
 	}
 	switch st.State {
 	case serve.JobDone:
 		fmt.Fprintf(w, "job %s done: cut %.2f over %d levels, %d first-level sub-graphs (%d events, %d restored)\n",
 			st.ID, st.Result.Value, st.Result.Levels, st.Result.SubGraphs, st.Events, st.Restores)
 	case serve.JobFailed:
-		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+		return fmt.Errorf("%w: job %s: %s", errJobFailed, st.ID, st.Error)
 	default:
 		fmt.Fprintf(w, "job %s parked (%s): the daemon drained; restart it to resume\n", st.ID, st.State)
 	}

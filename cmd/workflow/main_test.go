@@ -88,6 +88,46 @@ func TestSubmitDemoAgainstLiveService(t *testing.T) {
 	}
 }
 
+// TestSubmitFailuresDistinguished pins the -submit exit contract: both
+// failure classes exit 1 (operational, per the stderr+exit-2 usage
+// convention), but the stderr message says which side broke — the
+// network path to the daemon, or the job the daemon rejected.
+func TestSubmitFailuresDistinguished(t *testing.T) {
+	// Nothing listens on port 1: every retry is refused, the breakerless
+	// default policy exhausts, and the failure names the dead daemon.
+	var out, errb strings.Builder
+	if code := run([]string{"-submit", "http://127.0.0.1:1", "-solve-nodes", "20"}, &out, &errb); code != 1 {
+		t.Fatalf("dead daemon exited %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "daemon unreachable after retries") {
+		t.Fatalf("dead daemon stderr does not name the network failure:\n%s", errb.String())
+	}
+	if strings.Contains(errb.String(), "job failed remotely") {
+		t.Fatalf("dead daemon misattributed to the job:\n%s", errb.String())
+	}
+
+	// A live daemon rejecting the job is the other class.
+	srv, err := serve.New(serve.Config{GlobalParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-submit", hs.URL, "-solve-nodes", "20", "-solve-solver", "bogus"}, &out, &errb); code != 1 {
+		t.Fatalf("rejected job exited %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "job failed remotely") ||
+		!strings.Contains(errb.String(), "unknown solver") {
+		t.Fatalf("rejected job stderr does not name the remote failure:\n%s", errb.String())
+	}
+	if strings.Contains(errb.String(), "daemon unreachable") {
+		t.Fatalf("rejected job misattributed to the network:\n%s", errb.String())
+	}
+}
+
 func TestRuntimeDemoWithCheckpointResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "demo.ckpt")
 	var first strings.Builder

@@ -1,6 +1,7 @@
 package qaoa2_test
 
 import (
+	"errors"
 	"testing"
 
 	"qaoa2"
@@ -155,5 +156,49 @@ func TestFacadeScheduler(t *testing.T) {
 	}
 	if m.Makespan != 5 {
 		t.Fatalf("makespan %v", m.Makespan)
+	}
+}
+
+// TestFacadeFaultTolerance pins the fault-tolerant dispatch surface:
+// retry policies with deterministic jitter, error classification, the
+// circuit breaker lifecycle, the stream-interruption sentinel, and the
+// seeded fault injector.
+func TestFacadeFaultTolerance(t *testing.T) {
+	pol := qaoa2.DefaultRetryPolicy(7)
+	if pol.MaxAttempts < 2 {
+		t.Fatalf("default policy retries nothing: %+v", pol)
+	}
+	if a, b := pol.Delay(2), qaoa2.DefaultRetryPolicy(7).Delay(2); a != b {
+		t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+	}
+
+	se := &qaoa2.StatusError{Code: 503, Msg: "draining"}
+	if qaoa2.ClassifyError(se) != qaoa2.Retryable {
+		t.Fatal("503 not retryable")
+	}
+	if qaoa2.ClassifyError(&qaoa2.StatusError{Code: 400, Msg: "bad"}) != qaoa2.Terminal {
+		t.Fatal("400 not terminal")
+	}
+
+	br := &qaoa2.Breaker{FailureThreshold: 2}
+	if br.State() != qaoa2.BreakerClosed {
+		t.Fatalf("new breaker %v", br.State())
+	}
+	br.Failure()
+	br.Failure()
+	if br.State() != qaoa2.BreakerOpen {
+		t.Fatalf("breaker %v after threshold failures", br.State())
+	}
+	if err := br.Allow(); !errors.Is(err, qaoa2.ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+
+	if qaoa2.ErrStreamInterrupted == nil || qaoa2.ErrRetryExhausted == nil {
+		t.Fatal("sentinels missing")
+	}
+
+	in := qaoa2.NewFaultInjector(7).Site("s", qaoa2.FaultSite{P: 1})
+	if d := in.Decide("s"); d.Class == "" || d.Seq != 1 {
+		t.Fatalf("P=1 site passed: %+v", d)
 	}
 }

@@ -1,0 +1,182 @@
+// Package faults is a seeded, deterministic fault injector for chaos
+// testing the remote-dispatch plane. An Injector owns named SITES —
+// injection points with independent probability/latency/error-class
+// knobs — and draws every verdict from per-site internal/rng streams,
+// so the k-th request through a site receives the identical fault on
+// every run with the same seed: chaos runs are replayable
+// (QAOA2_FAULT_SEED=... in the experiment recipes).
+//
+// Two exposures cover both halves of an HTTP hop:
+//
+//   - Transport wraps an http.RoundTripper for CLIENT-side injection
+//     (synthetic connection refusals, resets, latency, truncated
+//     response bodies);
+//   - Middleware wraps an http.Handler for SERVER-side injection
+//     (503s with Retry-After, latency spikes, mid-stream connection
+//     cuts, truncated NDJSON).
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"qaoa2/internal/rng"
+)
+
+// Class names one injectable failure mode.
+type Class string
+
+const (
+	// Refuse simulates a dead endpoint: the client transport returns
+	// connection-refused without sending; the server middleware
+	// answers 503 (with a Retry-After hint).
+	Refuse Class = "refuse"
+	// Reset cuts the connection before any payload: the client sees a
+	// connection reset; the server aborts the response immediately.
+	Reset Class = "reset"
+	// Slow delays the request by Site.Latency, then passes it through
+	// (no error — the latency-spike mode).
+	Slow Class = "slow"
+	// Truncate passes part of the payload and then tears the
+	// connection: the client observes a mid-stream drop inside the
+	// body (e.g. half an NDJSON line).
+	Truncate Class = "truncate"
+)
+
+// Site is one injection point's knobs.
+type Site struct {
+	// P is the per-request fault probability in [0, 1]; 0 disables the
+	// site (every request passes).
+	P float64
+	// Classes are the fault modes drawn (uniformly) when a fault
+	// fires; empty defaults to {Refuse}.
+	Classes []Class
+	// Latency is the delay a Slow fault injects (default 10ms).
+	Latency time.Duration
+	// TruncateAfter is how many payload bytes a Truncate fault lets
+	// through before tearing the stream (default 256).
+	TruncateAfter int
+}
+
+// Decision is one request's verdict at a site. Class "" passes the
+// request through untouched.
+type Decision struct {
+	Site string
+	// Seq is the 1-based request ordinal at the site; the decision is
+	// a pure function of (injector seed, site name, Seq).
+	Seq     int
+	Class   Class
+	Latency time.Duration
+	// Truncate carries the byte budget of a Truncate decision.
+	Truncate int
+}
+
+// String renders a decision for schedule logs.
+func (d Decision) String() string {
+	if d.Class == "" {
+		return fmt.Sprintf("%s#%d pass", d.Site, d.Seq)
+	}
+	return fmt.Sprintf("%s#%d %s", d.Site, d.Seq, d.Class)
+}
+
+// Injector draws deterministic fault decisions for its sites. Safe
+// for concurrent use; the decision SEQUENCE at each site is fixed by
+// the seed (the k-th arrival gets the k-th decision), so a chaos run
+// replays the identical fault schedule even when concurrent request
+// ordering varies.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	sites map[string]*siteState
+	log   []Decision
+}
+
+type siteState struct {
+	cfg Site
+	r   *rng.Rand
+	seq int
+}
+
+// New returns an injector whose decisions derive from seed alone.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, sites: make(map[string]*siteState)}
+}
+
+// Site configures (or reconfigures) a named injection point. The
+// site's random stream derives from (injector seed, site name), so
+// adding sites never perturbs another site's schedule.
+func (in *Injector) Site(name string, cfg Site) *Injector {
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = []Class{Refuse}
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 10 * time.Millisecond
+	}
+	if cfg.TruncateAfter <= 0 {
+		cfg.TruncateAfter = 256
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites[name] = &siteState{cfg: cfg, r: rng.New(in.seed).Split(h.Sum64())}
+	return in
+}
+
+// Decide draws the next verdict for one request at the named site.
+// Unknown sites always pass (an un-instrumented path is a no-op).
+func (in *Injector) Decide(site string) Decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.sites[site]
+	if !ok {
+		return Decision{Site: site}
+	}
+	st.seq++
+	d := Decision{Site: site, Seq: st.seq}
+	if st.r.Float64() < st.cfg.P {
+		d.Class = st.cfg.Classes[st.r.Intn(len(st.cfg.Classes))]
+		switch d.Class {
+		case Slow:
+			d.Latency = st.cfg.Latency
+		case Truncate:
+			d.Truncate = st.cfg.TruncateAfter
+		}
+	}
+	in.log = append(in.log, d)
+	return d
+}
+
+// Schedule snapshots every decision drawn so far, ordered per site by
+// Seq (the cross-site interleaving of a concurrent run is not part of
+// the schedule identity).
+func (in *Injector) Schedule() []Decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Decision, len(in.log))
+	copy(out, in.log)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Site != out[b].Site {
+			return out[a].Site < out[b].Site
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}
+
+// Faults counts the non-pass decisions drawn so far.
+func (in *Injector) Faults() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, d := range in.log {
+		if d.Class != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// drain pulls n decisions from a site.
+func drain(in *Injector, site string, n int) []Decision {
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = in.Decide(site)
+	}
+	return out
+}
+
+// TestDeterministicSchedule pins the replayability contract: two
+// injectors with the same seed draw the identical decision sequence
+// at every site, a different seed draws a different one, and adding a
+// site never perturbs another site's stream.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Site{P: 0.5, Classes: []Class{Refuse, Reset, Slow, Truncate}}
+	a := New(7).Site("server", cfg).Site("client", cfg)
+	b := New(7).Site("server", cfg).Site("client", cfg)
+
+	if got, want := drain(a, "server", 64), drain(b, "server", 64); !reflect.DeepEqual(got, want) {
+		t.Fatal("same seed, same site: schedules diverged")
+	}
+	if got, want := drain(a, "client", 64), drain(b, "client", 64); !reflect.DeepEqual(got, want) {
+		t.Fatal("same seed: client site diverged")
+	}
+
+	c := New(8).Site("server", cfg)
+	if reflect.DeepEqual(drain(New(7).Site("server", cfg), "server", 64), drain(c, "server", 64)) {
+		t.Fatal("different seeds drew the identical schedule")
+	}
+
+	// Site independence: "server" decisions with and without a second
+	// site configured are identical.
+	solo := New(7).Site("server", cfg)
+	both := New(7).Site("server", cfg).Site("other", Site{P: 1})
+	drain(both, "other", 10)
+	if !reflect.DeepEqual(drain(solo, "server", 32), drain(both, "server", 32)) {
+		t.Fatal("configuring another site perturbed the schedule")
+	}
+
+	// The schedule accessor orders per site by Seq.
+	sched := a.Schedule()
+	seen := map[string]int{}
+	for _, d := range sched {
+		if d.Seq != seen[d.Site]+1 {
+			t.Fatalf("schedule out of order at %v", d)
+		}
+		seen[d.Site] = d.Seq
+	}
+	if a.Faults() == 0 {
+		t.Fatal("P=0.5 over 128 draws injected nothing")
+	}
+}
+
+// TestDecideEdgeCases: unknown sites and P=0/P=1 behave as documented.
+func TestDecideEdgeCases(t *testing.T) {
+	in := New(1).Site("never", Site{P: 0}).Site("always", Site{P: 1, Classes: []Class{Reset}})
+	if d := in.Decide("unknown"); d.Class != "" {
+		t.Fatalf("unknown site injected %v", d)
+	}
+	for i := 0; i < 16; i++ {
+		if d := in.Decide("never"); d.Class != "" {
+			t.Fatalf("P=0 injected %v", d)
+		}
+		if d := in.Decide("always"); d.Class != Reset {
+			t.Fatalf("P=1 passed through: %v", d)
+		}
+	}
+}
+
+// okHandler answers a fixed body.
+func okHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+// TestTransportFaults drives every client-side class against a live
+// server and checks the observable failure shapes.
+func TestTransportFaults(t *testing.T) {
+	hs := httptest.NewServer(okHandler("hello, chaos"))
+	defer hs.Close()
+
+	get := func(in *Injector) (string, error) {
+		client := &http.Client{Transport: in.Transport("client", hs.Client().Transport)}
+		resp, err := client.Get(hs.URL)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return string(data), err
+	}
+
+	if _, err := get(New(1).Site("client", Site{P: 1, Classes: []Class{Refuse}})); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("refuse: %v", err)
+	}
+	if _, err := get(New(1).Site("client", Site{P: 1, Classes: []Class{Reset}})); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset: %v", err)
+	}
+	start := time.Now()
+	body, err := get(New(1).Site("client", Site{P: 1, Classes: []Class{Slow}, Latency: 30 * time.Millisecond}))
+	if err != nil || body != "hello, chaos" {
+		t.Fatalf("slow: %q, %v", body, err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("slow fault added no latency")
+	}
+	partial, err := get(New(1).Site("client", Site{P: 1, Classes: []Class{Truncate}, TruncateAfter: 5}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncate: err %v", err)
+	}
+	if partial != "hello" {
+		t.Fatalf("truncate delivered %q, want the 5-byte prefix", partial)
+	}
+	// A body shorter than the budget passes untouched.
+	whole, err := get(New(1).Site("client", Site{P: 1, Classes: []Class{Truncate}, TruncateAfter: 4096}))
+	if err != nil || whole != "hello, chaos" {
+		t.Fatalf("oversized truncate budget: %q, %v", whole, err)
+	}
+}
+
+// TestMiddlewareFaults drives every server-side class through a real
+// HTTP server (so connection tears reach the client as torn bodies).
+func TestMiddlewareFaults(t *testing.T) {
+	serve := func(in *Injector, body string) (*http.Response, error) {
+		hs := httptest.NewServer(in.Middleware("server", okHandler(body)))
+		t.Cleanup(hs.Close)
+		return hs.Client().Get(hs.URL)
+	}
+
+	resp, err := serve(New(1).Site("server", Site{P: 1, Classes: []Class{Refuse}}), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("refuse: HTTP %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	if _, err := serve(New(1).Site("server", Site{P: 1, Classes: []Class{Reset}}), "x"); err == nil {
+		t.Fatal("reset: request succeeded")
+	}
+
+	start := time.Now()
+	resp, err = serve(New(1).Site("server", Site{P: 1, Classes: []Class{Slow}, Latency: 30 * time.Millisecond}), "slow-ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(data) != "slow-ok" || time.Since(start) < 30*time.Millisecond {
+		t.Fatalf("slow: %q after %v", data, time.Since(start))
+	}
+
+	long := ""
+	for i := 0; i < 100; i++ {
+		long += fmt.Sprintf("{\"seq\":%d}\n", i)
+	}
+	resp, err = serve(New(1).Site("server", Site{P: 1, Classes: []Class{Truncate}, TruncateAfter: 64}), long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil {
+		t.Fatalf("truncate: body read cleanly (%d bytes)", len(data))
+	}
+	if len(data) == 0 || len(data) > 64 {
+		t.Fatalf("truncate delivered %d bytes, want 1..64", len(data))
+	}
+}
+
+// TestInjectorConcurrent exercises the locked decision path under the
+// race detector and checks the per-site sequence stays gapless.
+func TestInjectorConcurrent(t *testing.T) {
+	in := New(3).Site("s", Site{P: 0.3, Classes: []Class{Refuse, Slow}})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				in.Decide("s")
+			}
+		}()
+	}
+	wg.Wait()
+	sched := in.Schedule()
+	if len(sched) != 800 {
+		t.Fatalf("%d decisions, want 800", len(sched))
+	}
+	for i, d := range sched {
+		if d.Seq != i+1 {
+			t.Fatalf("sequence gap at %d: %v", i, d)
+		}
+	}
+}

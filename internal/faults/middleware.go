@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an http.Handler with the named site's SERVER-side
+// faults: Refuse answers 503 with a Retry-After hint (the daemon
+// "draining/overloaded" shape), Slow delays the response, Reset tears
+// the connection before any byte, and Truncate delivers part of the
+// payload — cutting NDJSON streams mid-line — before tearing it.
+// Connection tears use http.ErrAbortHandler, the stdlib's sanctioned
+// way to abort a response without finishing it: the client observes a
+// torn body (unexpected EOF / connection reset).
+func (in *Injector) Middleware(site string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.Decide(site)
+		switch d.Class {
+		case Refuse:
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"faults: injected unavailability"}`)
+			return
+		case Reset:
+			panic(http.ErrAbortHandler)
+		case Slow:
+			timer := time.NewTimer(d.Latency)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-r.Context().Done():
+				return
+			}
+		case Truncate:
+			cw := &cutWriter{ResponseWriter: w, remaining: d.Truncate}
+			next.ServeHTTP(cw, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// cutWriter passes `remaining` payload bytes through — flushing them
+// so they actually reach the client — and then aborts the connection.
+type cutWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (w *cutWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if len(p) <= w.remaining {
+		n, err := w.ResponseWriter.Write(p)
+		w.remaining -= n
+		return n, err
+	}
+	n, _ := w.ResponseWriter.Write(p[:w.remaining])
+	w.remaining -= n
+	w.Flush() // deliver the partial payload before tearing the stream
+	panic(http.ErrAbortHandler)
+}
+
+// Flush forwards to the underlying writer when it supports flushing
+// (NDJSON streaming relies on it).
+func (w *cutWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

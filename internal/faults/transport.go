@@ -1,0 +1,81 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// Transport returns an http.RoundTripper that injects the named
+// site's faults on the CLIENT side of the hop before delegating to
+// next (nil = http.DefaultTransport). Injected errors take the exact
+// shapes real transports produce — *net.OpError wrapping ECONNREFUSED
+// / ECONNRESET, io.ErrUnexpectedEOF inside the body — so retry
+// classification is exercised against realistic failures.
+func (in *Injector) Transport(site string, next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &transport{in: in, site: site, next: next}
+}
+
+type transport struct {
+	in   *Injector
+	site string
+	next http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.Decide(t.site)
+	switch d.Class {
+	case Refuse:
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	case Reset:
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case Slow:
+		timer := time.NewTimer(d.Latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil || d.Class != Truncate {
+		return resp, err
+	}
+	resp.Body = &truncatedBody{inner: resp.Body, remaining: d.Truncate}
+	return resp, nil
+}
+
+// truncatedBody delivers at most `remaining` bytes and then reports a
+// torn connection, simulating a response cut mid-stream.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The real body ended inside the budget: pass EOF through, the
+		// truncation never fired.
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }

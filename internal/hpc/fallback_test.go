@@ -1,0 +1,148 @@
+package hpc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/maxcut"
+	q2 "qaoa2/internal/qaoa2"
+	"qaoa2/internal/retry"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/serve"
+)
+
+// failingSolver always errors; it stands in for a broken local path.
+type failingSolver struct{}
+
+func (failingSolver) Name() string { return "failing" }
+
+func (failingSolver) SolveSub(*graph.Graph, *rng.Rand) (maxcut.Cut, error) {
+	return maxcut.Cut{}, fmt.Errorf("failing: no local capacity")
+}
+
+// tinyRetry keeps test retry loops fast.
+func tinyRetry(attempts int) retry.Policy {
+	return retry.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// TestFallbackDegradationBreaker is the graceful-degradation
+// acceptance test: with the daemon entirely unreachable, a full QAOA²
+// solve (≥8 leaves) still completes in bounded time — the shared
+// breaker opens after a few refused dials so later leaves skip the
+// retry budget — and every leaf's cut comes from the local fallback,
+// bit-identical to a purely local run. The degradation is visible in
+// the attribution: each SubReport's winner is "fallback:anneal" with
+// the failed remote attempt on record.
+func TestFallbackDegradationBreaker(t *testing.T) {
+	big := graph.ErdosRenyi(48, 0.15, graph.Unweighted, rng.New(6))
+	br := &retry.Breaker{FailureThreshold: 3, Cooldown: time.Minute}
+	dead := RemoteSolver{
+		// Nothing listens here: every dial is refused immediately.
+		Client:   &serve.Client{Base: "http://127.0.0.1:1"},
+		Retry:    tinyRetry(3),
+		Breaker:  br,
+		Fallback: q2.AnnealSolver{},
+	}
+
+	start := time.Now()
+	degraded, err := q2.Solve(big, q2.Options{
+		MaxQubits:   6,
+		Solver:      dead,
+		MergeSolver: q2.AnnealSolver{},
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatalf("degraded solve failed outright: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("degraded solve took %v; breaker did not bound the damage", elapsed)
+	}
+	if degraded.SubGraphs < 8 {
+		t.Fatalf("only %d leaves; the instance under-exercises the breaker", degraded.SubGraphs)
+	}
+
+	// Bit-identical to the purely local run with the same seeds.
+	local, err := q2.Solve(big, q2.Options{
+		MaxQubits:   6,
+		Solver:      localMirror{},
+		MergeSolver: q2.AnnealSolver{},
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serve.EncodeSpins(degraded.Cut.Spins) != serve.EncodeSpins(local.Cut.Spins) ||
+		degraded.Cut.Value != local.Cut.Value {
+		t.Fatalf("degraded cut (%v) differs from local cut (%v)", degraded.Cut.Value, local.Cut.Value)
+	}
+
+	// Degradation is attributed, not silent.
+	if len(degraded.SubReports) < 8 {
+		t.Fatalf("%d sub-reports", len(degraded.SubReports))
+	}
+	for i, sr := range degraded.SubReports {
+		if sr.Solver != "fallback:anneal" {
+			t.Fatalf("leaf %d attributed to %q, want fallback:anneal", i, sr.Solver)
+		}
+		if len(sr.Attempts) != 2 {
+			t.Fatalf("leaf %d has %d attempts, want remote failure + fallback", i, len(sr.Attempts))
+		}
+		if sr.Attempts[0].Solver != "remote:anneal" || sr.Attempts[0].Err == "" {
+			t.Fatalf("leaf %d first attempt %+v, want failed remote:anneal", i, sr.Attempts[0])
+		}
+		if sr.Attempts[1].Solver != "fallback:anneal" || sr.Attempts[1].Err != "" {
+			t.Fatalf("leaf %d second attempt %+v, want clean fallback", i, sr.Attempts[1])
+		}
+	}
+	if br.State() != retry.BreakerOpen {
+		t.Fatalf("breaker %v after a dead-daemon run, want open", br.State())
+	}
+}
+
+// TestFallbackBothPathsFail: with no daemon AND a failing fallback the
+// error names both causes, so operators see the whole ladder.
+func TestFallbackBothPathsFail(t *testing.T) {
+	g := graph.ErdosRenyi(8, 0.5, graph.Unweighted, rng.New(1))
+	dead := RemoteSolver{
+		Client:   &serve.Client{Base: "http://127.0.0.1:1"},
+		Retry:    tinyRetry(2),
+		Fallback: failingSolver{},
+	}
+	_, err := dead.SolveSub(g, rng.New(1))
+	if err == nil {
+		t.Fatal("double failure reported success")
+	}
+	if !strings.Contains(err.Error(), "fallback") || !strings.Contains(err.Error(), "remote solve failed") {
+		t.Fatalf("error %q does not name both failures", err)
+	}
+}
+
+// TestRemoteTerminalSkipsFallback: a daemon-side rejection (unknown
+// solver) is a configuration bug, not an outage — it must fail loudly
+// rather than silently masking the typo behind the fallback... unless
+// a fallback is configured, in which case availability wins and the
+// degradation is attributed. This pins the current choice: Fallback
+// covers ALL remote failures, terminal included.
+func TestRemoteTerminalFallsBack(t *testing.T) {
+	_, client := startService(t)
+	g := graph.ErdosRenyi(8, 0.5, graph.Unweighted, rng.New(1))
+	bad := RemoteSolver{Client: client, Solver: "bogus", Retry: tinyRetry(3), Fallback: q2.AnnealSolver{}}
+	cut, report, err := bad.SolveSubAttributed(g, rng.New(1))
+	if err != nil {
+		t.Fatalf("fallback did not rescue a terminal rejection: %v", err)
+	}
+	if report.Winner != "fallback:anneal" || len(cut.Spins) != 8 {
+		t.Fatalf("winner %q, %d spins", report.Winner, len(cut.Spins))
+	}
+	if !strings.Contains(report.Attempts[0].Err, "unknown solver") {
+		t.Fatalf("remote attempt error %q lost the root cause", report.Attempts[0].Err)
+	}
+}

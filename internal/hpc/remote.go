@@ -2,12 +2,16 @@ package hpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"qaoa2/internal/graph"
 	"qaoa2/internal/maxcut"
+	"qaoa2/internal/retry"
 	"qaoa2/internal/rng"
 	"qaoa2/internal/serve"
+	"qaoa2/internal/solver"
 )
 
 // RemoteSolver offloads sub-graph solves to a running qaoa2d daemon:
@@ -24,6 +28,18 @@ import (
 // within one solve; RE-RUNNING a solve with the same root seed
 // resubmits identical (graph, seed) pairs and hits the daemon's
 // result cache leaf by leaf.
+//
+// Fault tolerance: the seed is drawn ONCE per leaf, before any
+// network I/O, so every retried submission carries the identical
+// (graph, seed) pair — the daemon's result cache and duplicate
+// coalescing make resubmission idempotent, and a leaf that survives a
+// retry (or degrades to the local Fallback) still produces the
+// bit-identical cut. Transient failures (connection refused/reset,
+// 5xx, 429, mid-stream drops, jobs parked by a daemon drain) retry
+// under Retry with deterministic backoff; terminal rejections (4xx,
+// unknown solver) fail immediately. A shared Breaker trips after
+// repeated failures so the remaining leaves skip the dead daemon's
+// timeout entirely and degrade straight to Fallback.
 type RemoteSolver struct {
 	// Client reaches the daemon.
 	Client *serve.Client
@@ -46,6 +62,34 @@ type RemoteSolver struct {
 	MaxQubits int
 	// Priority selects the daemon queue lane ("" = normal).
 	Priority string
+
+	// Context bounds the whole dispatch lifetime (nil = Background);
+	// cancel it to abandon in-flight leaves.
+	Context context.Context
+	// Timeout bounds one leaf's complete remote dispatch — all retry
+	// attempts included (0 = no per-leaf bound).
+	Timeout time.Duration
+	// Retry shapes the resubmission loop. The zero policy means
+	// retry.Default seeded from the leaf seed — deterministic backoff
+	// jitter per leaf. A single-attempt policy (MaxAttempts 1,
+	// retry.Policy{MaxAttempts: 1}) restores the historical
+	// fail-on-first-error behavior.
+	Retry retry.Policy
+	// Breaker, when set, is consulted before every attempt and fed
+	// every outcome. Share ONE breaker across all leaves targeting the
+	// same daemon: after FailureThreshold consecutive failures the
+	// remaining leaves fail fast (and degrade to Fallback) instead of
+	// each burning the full retry budget against a dead endpoint.
+	Breaker *retry.Breaker
+	// Fallback, when set, solves the sub-graph locally after the
+	// remote path is exhausted (retries spent, breaker open, or the
+	// dispatch deadline passed). The degradation is visible in the
+	// attribution report: the winner becomes "fallback:<name>" and the
+	// failed remote attempt stays in Attempts with its error. For
+	// bit-identical degradation, use the local twin of the remote
+	// solver (e.g. AnnealSolver for Solver "anneal"): it receives
+	// rng.New(leafSeed), exactly the stream the daemon would have used.
+	Fallback solver.Solver
 }
 
 // Name implements SubSolver.
@@ -58,11 +102,74 @@ func (s RemoteSolver) Name() string {
 }
 
 // SolveSub implements SubSolver by submitting the sub-graph and
-// waiting on the daemon's event stream.
+// waiting on the daemon's event stream, retrying transient failures
+// and degrading to Fallback when the remote path is exhausted.
 func (s RemoteSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) {
+	cut, _, err := s.SolveSubAttributed(g, r)
+	return cut, err
+}
+
+// SolveSubAttributed implements solver.Attributor: the identical cut
+// SolveSub returns, plus attribution that records a degradation to
+// the local fallback as "remote attempt failed → fallback won".
+func (s RemoteSolver) SolveSubAttributed(g *graph.Graph, r *rng.Rand) (maxcut.Cut, solver.Report, error) {
 	if s.Client == nil {
-		return maxcut.Cut{}, fmt.Errorf("hpc: RemoteSolver needs a Client")
+		return maxcut.Cut{}, solver.Report{}, fmt.Errorf("hpc: RemoteSolver needs a Client")
 	}
+	// One seed per leaf, drawn before any fallible I/O: every retry
+	// and the local fallback all solve the identical (graph, seed).
+	seed := r.Uint64()
+
+	ctx := s.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if s.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+	}
+	defer cancel()
+
+	start := time.Now()
+	cut, err := s.solveRemote(ctx, g, seed)
+	if err == nil {
+		return cut, solver.Report{Winner: s.Name()}, nil
+	}
+	if s.Fallback == nil {
+		return maxcut.Cut{}, solver.Report{}, err
+	}
+
+	// Graceful degradation: the remote path is spent — solve locally
+	// with the SAME leaf seed and attribute both attempts.
+	report := solver.Report{Attempts: []solver.Attempt{{
+		Solver: s.Name(),
+		Nanos:  time.Since(start).Nanoseconds(),
+		Err:    err.Error(),
+	}}}
+	fbName := "fallback:" + s.Fallback.Name()
+	fbStart := time.Now()
+	fbCut, fbErr := s.Fallback.SolveSub(g, rng.New(seed))
+	if fbErr != nil {
+		report.Attempts = append(report.Attempts, solver.Attempt{
+			Solver: fbName,
+			Nanos:  time.Since(fbStart).Nanoseconds(),
+			Err:    fbErr.Error(),
+		})
+		return maxcut.Cut{}, report, fmt.Errorf("hpc: remote solve failed (%v) and fallback %s failed: %w", err, s.Fallback.Name(), fbErr)
+	}
+	report.Winner = fbName
+	report.Attempts = append(report.Attempts, solver.Attempt{
+		Solver: fbName,
+		Value:  fbCut.Value,
+		Nanos:  time.Since(fbStart).Nanoseconds(),
+	})
+	return fbCut, report, nil
+}
+
+// solveRemote runs the retried remote dispatch for one (graph, seed)
+// leaf. Each attempt resubmits — idempotent by construction — and
+// follows the job's event stream to a settled status.
+func (s RemoteSolver) solveRemote(ctx context.Context, g *graph.Graph, seed uint64) (maxcut.Cut, error) {
 	sub, merge := s.Solver, s.Merge
 	if sub == "" {
 		sub = "anneal"
@@ -80,27 +187,61 @@ func (s RemoteSolver) SolveSub(g *graph.Graph, r *rng.Rand) (maxcut.Cut, error) 
 		Solver:    sub,
 		Merge:     merge,
 		Layers:    s.Layers,
-		Seed:      r.Uint64(),
+		Seed:      seed,
 		Priority:  s.Priority,
 	}
-	st, err := s.Client.Solve(context.Background(), req, nil)
+
+	pol := s.Retry
+	if pol.MaxAttempts == 0 {
+		pol = retry.Default(seed)
+	}
+	if pol.Breaker == nil {
+		pol.Breaker = s.Breaker
+	}
+	base := pol.Classify
+	if base == nil {
+		base = retry.Classify
+	}
+	pol.Classify = func(err error) retry.Class {
+		// A torn event stream re-follows the same job: the server-side
+		// replay makes re-attachment lossless.
+		if errors.Is(err, serve.ErrStreamInterrupted) {
+			return retry.Retryable
+		}
+		return base(err)
+	}
+
+	var cut maxcut.Cut
+	err := pol.Do(ctx, func(actx context.Context) error {
+		st, err := s.Client.Solve(actx, req, nil)
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case serve.JobDone:
+		case serve.JobFailed:
+			// The daemon ran the job and rejected it (unknown solver,
+			// bad graph): retrying the identical request cannot help.
+			return retry.MarkTerminal(fmt.Errorf("hpc: remote job %s failed: %s", st.ID, st.Error))
+		default:
+			// Parked by a drain: the restarted daemon resumes the job
+			// from its checkpoint, and our resubmission coalesces onto
+			// the resumed run.
+			return retry.MarkRetryable(fmt.Errorf("hpc: remote job %s parked (%s): daemon drained mid-solve", st.ID, st.State))
+		}
+		spins, err := serve.DecodeSpins(st.Result.Spins)
+		if err != nil {
+			return retry.MarkTerminal(fmt.Errorf("hpc: remote job %s: %w", st.ID, err))
+		}
+		if len(spins) != g.N() {
+			return retry.MarkTerminal(fmt.Errorf("hpc: remote job %s returned %d spins for %d nodes",
+				st.ID, len(spins), g.N()))
+		}
+		cut = maxcut.Cut{Spins: spins, Value: st.Result.Value}
+		return nil
+	})
 	if err != nil {
 		return maxcut.Cut{}, fmt.Errorf("hpc: remote solve: %w", err)
 	}
-	switch st.State {
-	case serve.JobDone:
-	case serve.JobFailed:
-		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s failed: %s", st.ID, st.Error)
-	default:
-		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s parked (%s): daemon drained mid-solve", st.ID, st.State)
-	}
-	spins, err := serve.DecodeSpins(st.Result.Spins)
-	if err != nil {
-		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s: %w", st.ID, err)
-	}
-	if len(spins) != g.N() {
-		return maxcut.Cut{}, fmt.Errorf("hpc: remote job %s returned %d spins for %d nodes",
-			st.ID, len(spins), g.N())
-	}
-	return maxcut.Cut{Spins: spins, Value: st.Result.Value}, nil
+	return cut, nil
 }

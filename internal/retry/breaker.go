@@ -1,0 +1,130 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's lifecycle state.
+type BreakerState string
+
+const (
+	// BreakerClosed passes every request through (healthy endpoint).
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen fails every request fast (dead endpoint); after
+	// Cooldown one probe is let through.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen has released its probe and holds everything else
+	// until the probe settles.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker is a per-endpoint circuit breaker: FailureThreshold
+// consecutive failures open it, opened it fails fast (ErrOpen) for
+// Cooldown, then a single half-open probe decides — success closes
+// the circuit, failure re-opens it for another cooldown. Safe for
+// concurrent use: the QAOA² recursion solves leaves in parallel and
+// every leaf's RemoteSolver shares one breaker per daemon, so a dead
+// daemon costs FailureThreshold timeouts total, not per leaf.
+type Breaker struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open circuit waits before releasing the
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Now stamps state transitions (tests inject; default time.Now).
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold <= 0 {
+		return 5
+	}
+	return b.FailureThreshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a request may proceed: nil while closed,
+// ErrOpen while open or while the half-open probe is in flight. The
+// first call after an open circuit's cooldown claims the probe.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return ErrOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	default: // closed (or zero value)
+		return nil
+	}
+}
+
+// Success records a healthy response: the circuit closes and the
+// consecutive-failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a dead-endpoint outcome: a failed half-open probe
+// re-opens the circuit immediately; in the closed state the
+// consecutive-failure count advances and opens it at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State snapshots the breaker (an open circuit past its cooldown
+// still reports open until a request claims the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == "" {
+		return BreakerClosed
+	}
+	return b.state
+}

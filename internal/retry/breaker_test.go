@@ -1,0 +1,156 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is an injectable test clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestBreakerLifecycle walks closed → open → half-open probe →
+// closed, and the probe-failure re-open.
+func TestBreakerLifecycle(t *testing.T) {
+	ck := &clock{t: time.Unix(100, 0)}
+	b := &Breaker{FailureThreshold: 3, Cooldown: time.Second, Now: ck.now}
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state %v", b.State())
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("opened below threshold: %v", b.State())
+	}
+	b.Failure() // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open circuit allowed a request: %v", err)
+	}
+
+	// Cooldown elapses: exactly one probe is released.
+	ck.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second request passed while the probe was in flight")
+	}
+
+	// Probe fails: re-open for another full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("re-opened circuit allowed a request before cooldown")
+	}
+	ck.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe", b.State())
+	}
+	// A success resets the consecutive-failure count.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("stale failures carried over the reset")
+	}
+}
+
+// TestBreakerFailsFastInDo: with the breaker open, Do returns ErrOpen
+// without invoking the operation — the bounded-time guarantee a dead
+// daemon relies on.
+func TestBreakerFailsFastInDo(t *testing.T) {
+	ck := &clock{t: time.Unix(0, 0)}
+	b := &Breaker{FailureThreshold: 2, Cooldown: time.Minute, Now: ck.now}
+	p := Policy{MaxAttempts: 3, Breaker: b, Sleep: fakeSleep(new([]time.Duration))}
+
+	calls := 0
+	dead := &StatusError{Code: 503, Msg: "daemon down"}
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return dead })
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err %v, want breaker to cut the retry loop", err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d calls, want threshold (2)", calls)
+	}
+
+	// Subsequent operations fail fast without touching the endpoint.
+	calls = 0
+	if err := p.Do(context.Background(), func(context.Context) error { calls++; return dead }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("open breaker still made %d calls", calls)
+	}
+}
+
+// TestBreakerTerminal4xxDoesNotTrip: a request rejection from an
+// alive endpoint must not open the circuit for everyone else.
+func TestBreakerTerminal4xxDoesNotTrip(t *testing.T) {
+	b := &Breaker{FailureThreshold: 1}
+	p := Policy{MaxAttempts: 2, Breaker: b, Sleep: fakeSleep(new([]time.Duration))}
+	err := p.Do(context.Background(), func(context.Context) error {
+		return &StatusError{Code: 400, Msg: "unknown solver"}
+	})
+	if err == nil || errors.Is(err, ErrOpen) {
+		t.Fatalf("err %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("4xx tripped the breaker: %v", b.State())
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines; the
+// race detector checks the locking, and afterwards the breaker is open.
+func TestBreakerConcurrent(t *testing.T) {
+	b := &Breaker{FailureThreshold: 4, Cooldown: time.Hour}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if b.Allow() == nil {
+					b.Failure()
+				}
+				b.State()
+			}
+		}()
+	}
+	wg.Wait()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after sustained failures", b.State())
+	}
+}

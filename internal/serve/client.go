@@ -5,20 +5,50 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"qaoa2/internal/retry"
 )
+
+// ErrStreamInterrupted reports an event stream that died before its
+// terminal status line — a mid-stream disconnect, a torn NDJSON line,
+// or a response that ended early. It is retryable: the server's
+// event-replay path lets a re-attached subscriber observe the
+// identical sequence, so Follow reconnects on it and deduplicates the
+// replayed prefix by sequence number.
+var ErrStreamInterrupted = errors.New("serve: event stream interrupted")
 
 // Client is the Go API against a running qaoa2d daemon (or any
 // Server.Handler). The zero HTTP client is replaced by
-// http.DefaultClient.
+// http.DefaultClient. The zero value of every fault-tolerance knob
+// preserves the historical single-attempt behavior.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8817".
 	Base string
-	// HTTP overrides the transport (tests inject httptest clients).
+	// HTTP overrides the transport (tests inject httptest clients and
+	// fault-injecting round-trippers).
 	HTTP *http.Client
+	// RequestTimeout bounds each unary call (Submit, Job) and each
+	// stream (re)connect attempt when set; streams themselves are
+	// unbounded — pass a deadline context to bound a whole Solve.
+	RequestTimeout time.Duration
+	// Retry shapes Submit/Job retries and the Follow reconnect loop.
+	// The zero policy performs single attempts (no behavior change);
+	// retry.Default(seed) opts into the dispatch-layer defaults.
+	// Submissions are idempotent — identical (graph, seed, solver)
+	// requests coalesce onto one job server-side — so retrying is
+	// always safe.
+	Retry retry.Policy
+	// Breaker, when set, gates every request so a dead daemon fails
+	// fast instead of stalling each call through the full retry
+	// budget. Share one breaker per daemon across clients/leaves.
+	Breaker *retry.Breaker
 }
 
 func (c *Client) http() *http.Client {
@@ -32,70 +62,109 @@ func (c *Client) url(path string) string {
 	return strings.TrimSuffix(c.Base, "/") + path
 }
 
-// decodeError maps a non-2xx response to the error its body carries.
+// policy resolves the effective retry policy: the configured one,
+// with the client's breaker and request timeout folded in.
+func (c *Client) policy() retry.Policy {
+	p := c.Retry
+	if p.Breaker == nil {
+		p.Breaker = c.Breaker
+	}
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = c.RequestTimeout
+	}
+	return p
+}
+
+// decodeError maps a non-2xx response to a typed status error the
+// retry classifier understands (5xx/429 retryable, 4xx terminal),
+// honoring a Retry-After hint when the server sent one.
 func decodeError(resp *http.Response) error {
 	var body errorBody
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	msg := ""
 	if json.Unmarshal(data, &body) == nil && body.Error != "" {
-		return fmt.Errorf("%s (HTTP %d)", body.Error, resp.StatusCode)
+		msg = body.Error
+	} else {
+		msg = "serve: " + strings.TrimSpace(string(data))
 	}
-	return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	se := &retry.StatusError{Code: resp.StatusCode, Msg: msg}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		se.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return se
+}
+
+// getJSON performs one GET and decodes the JSON response.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Submit posts one solve request and returns the job's status —
 // possibly already complete (Cached) or attached to an in-flight
-// duplicate (Coalesced).
+// duplicate (Coalesced). Transient failures retry under the client's
+// policy; a retried submission coalesces onto the original job, so
+// duplicated delivery is harmless.
 func (c *Client) Submit(ctx context.Context, req SolveRequest) (JobStatus, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/solve"), bytes.NewReader(body))
-	if err != nil {
-		return JobStatus{}, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(hreq)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, decodeError(resp)
-	}
 	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	err = c.policy().Do(ctx, func(actx context.Context) error {
+		hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.url("/v1/solve"), bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&st)
+	})
+	if err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
 }
 
-// Job fetches one job's status snapshot.
+// Job fetches one job's status snapshot, retrying transient failures
+// under the client's policy.
 func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	resp, err := c.http().Do(hreq)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, decodeError(resp)
-	}
 	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	err := c.policy().Do(ctx, func(actx context.Context) error {
+		st = JobStatus{}
+		return c.getJSON(actx, "/v1/jobs/"+id, &st)
+	})
+	if err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
 }
 
-// Stream follows the job's NDJSON event stream, invoking onEvent for
-// every progress line (nil is allowed), and returns the terminal
+// Stream follows the job's NDJSON event stream ONCE, invoking onEvent
+// for every progress line (nil is allowed), and returns the terminal
 // status line once the job settles. A job parked by a server drain
 // returns with State == JobQueued; resubscribe after the server
-// restarts to follow the resumed run.
+// restarts to follow the resumed run. A mid-stream disconnect — the
+// connection torn before the status line — returns an error wrapping
+// ErrStreamInterrupted; Follow is the reconnecting variant.
 func (c *Client) Stream(ctx context.Context, id string, onEvent func(Event)) (JobStatus, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
 	if err != nil {
@@ -118,7 +187,9 @@ func (c *Client) Stream(ctx context.Context, id string, onEvent func(Event)) (Jo
 		}
 		var sl StreamLine
 		if err := json.Unmarshal(line, &sl); err != nil {
-			return JobStatus{}, fmt.Errorf("serve: bad stream line %q: %w", line, err)
+			// A torn NDJSON line: the connection died mid-write. The
+			// replayed stream will deliver the complete line.
+			return JobStatus{}, fmt.Errorf("%w: job %s: bad stream line %q", ErrStreamInterrupted, id, line)
 		}
 		switch {
 		case sl.Event != nil:
@@ -129,14 +200,90 @@ func (c *Client) Stream(ctx context.Context, id string, onEvent func(Event)) (Jo
 			return *sl.Status, nil
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return JobStatus{}, err
+	if ctx.Err() != nil {
+		// The caller hung up; that is not an interruption to retry.
+		return JobStatus{}, ctx.Err()
 	}
-	return JobStatus{}, fmt.Errorf("serve: event stream for %s ended without a status line", id)
+	if err := sc.Err(); err != nil {
+		return JobStatus{}, fmt.Errorf("%w: job %s: %v", ErrStreamInterrupted, id, err)
+	}
+	return JobStatus{}, fmt.Errorf("%w: job %s: stream ended without a status line", ErrStreamInterrupted, id)
+}
+
+// Follow streams a job to its settled status, reconnecting through
+// mid-stream disconnects: every re-attach replays the event prefix
+// (the server guarantees an identical sequence to every subscriber)
+// and Follow deduplicates by Event.Seq, so onEvent observes each
+// event exactly once, in order, across any number of reconnects.
+// Reconnect attempts draw from the client's retry policy; receiving
+// new events counts as progress and refreshes the attempt budget.
+func (c *Client) Follow(ctx context.Context, id string, onEvent func(Event)) (JobStatus, error) {
+	pol := c.policy()
+	attempts := pol.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	lastSeq, attempt := 0, 0
+	for {
+		progressed := false
+		st, err := c.Stream(ctx, id, func(ev Event) {
+			if ev.Seq > lastSeq || ev.Seq == 0 {
+				if ev.Seq > lastSeq {
+					lastSeq = ev.Seq
+				}
+				progressed = true
+				if onEvent != nil {
+					onEvent(ev)
+				}
+			}
+		})
+		if err == nil {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return JobStatus{}, err
+		}
+		retryable := errors.Is(err, ErrStreamInterrupted)
+		if !retryable {
+			if cl := pol.Classify; cl != nil {
+				retryable = cl(err) == retry.Retryable
+			} else {
+				retryable = retry.Classify(err) == retry.Retryable
+			}
+		}
+		if !retryable {
+			return JobStatus{}, err
+		}
+		if progressed {
+			attempt = 0
+		}
+		attempt++
+		if attempt >= attempts {
+			if attempts == 1 {
+				return JobStatus{}, err
+			}
+			return JobStatus{}, fmt.Errorf("%w after %d attempts: %w", retry.ErrExhausted, attempt, err)
+		}
+		if serr := pol.Sleep; serr != nil {
+			if e := serr(ctx, pol.Delay(attempt)); e != nil {
+				return JobStatus{}, err
+			}
+		} else {
+			t := time.NewTimer(pol.Delay(attempt))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return JobStatus{}, err
+			}
+			t.Stop()
+		}
+	}
 }
 
 // Solve is the synchronous convenience: submit, then follow the event
-// stream until the job settles. Cached results return immediately.
+// stream (reconnecting through drops) until the job settles. Cached
+// results return immediately.
 func (c *Client) Solve(ctx context.Context, req SolveRequest, onEvent func(Event)) (JobStatus, error) {
 	st, err := c.Submit(ctx, req)
 	if err != nil {
@@ -145,5 +292,5 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest, onEvent func(Event
 	if st.State == JobDone || st.State == JobFailed {
 		return st, nil
 	}
-	return c.Stream(ctx, st.ID, onEvent)
+	return c.Follow(ctx, st.ID, onEvent)
 }

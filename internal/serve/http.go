@@ -57,6 +57,11 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		// Back-pressure hint: a full queue drains and a draining daemon
+		// restarts on the order of seconds, not milliseconds.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 

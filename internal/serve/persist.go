@@ -155,6 +155,15 @@ func (s *Server) PersistErr() error {
 // queued and previously running jobs re-enqueue in their persisted
 // lane order (their checkpoints make the re-run resume rather than
 // recompute). Called from New before the scheduler starts.
+//
+// Restore is crash-tolerant rather than strict: a daemon must come
+// back up after an unclean exit. A stale .tmp from a write cut mid-
+// flight is deleted (the rename never happened, so jobs.json still
+// holds the previous consistent snapshot); an unreadable or
+// wrong-version jobs.json is moved aside to jobs.json.corrupt and the
+// daemon starts with an empty table, surfacing the problem through
+// PersistErr (/healthz) instead of refusing to boot; individually
+// damaged job records are skipped the same way.
 func (s *Server) restore() error {
 	if s.cfg.StateDir == "" {
 		return nil
@@ -162,7 +171,11 @@ func (s *Server) restore() error {
 	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
 		return fmt.Errorf("serve: state dir: %w", err)
 	}
-	data, err := os.ReadFile(filepath.Join(s.cfg.StateDir, jobsFile))
+	path := filepath.Join(s.cfg.StateDir, jobsFile)
+	// A leftover temp file is a torn write from a crash: the atomic
+	// rename never happened, so it carries no committed state.
+	os.Remove(path + ".tmp")
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -171,25 +184,28 @@ func (s *Server) restore() error {
 	}
 	var st persistedState
 	if err := json.Unmarshal(data, &st); err != nil {
-		return fmt.Errorf("serve: corrupt job table %s: %w",
-			filepath.Join(s.cfg.StateDir, jobsFile), err)
+		return s.quarantine(path, fmt.Errorf("serve: corrupt job table %s: %w", path, err))
 	}
 	if st.Version != persistVersion {
-		return fmt.Errorf("serve: job table version %d, want %d", st.Version, persistVersion)
+		return s.quarantine(path, fmt.Errorf("serve: job table version %d, want %d", st.Version, persistVersion))
 	}
 	var requeue []*job
+	var skipErr error
 	for _, pj := range st.Jobs {
 		req, err := pj.Request.normalize()
 		if err != nil {
-			return fmt.Errorf("serve: persisted job %s: %w", pj.ID, err)
+			skipErr = fmt.Errorf("serve: skipped persisted job %s: %w", pj.ID, err)
+			continue
 		}
 		g, err := req.Graph.Build()
 		if err != nil {
-			return fmt.Errorf("serve: persisted job %s: %w", pj.ID, err)
+			skipErr = fmt.Errorf("serve: skipped persisted job %s: %w", pj.ID, err)
+			continue
 		}
 		fp := rt.GraphFingerprint(g)
 		if got := req.key(fp); got != pj.ID {
-			return fmt.Errorf("serve: persisted job %s does not match its request (key %s)", pj.ID, got)
+			skipErr = fmt.Errorf("serve: skipped persisted job %s: does not match its request (key %s)", pj.ID, got)
+			continue
 		}
 		j := &job{
 			id:          pj.ID,
@@ -229,5 +245,26 @@ func (s *Server) restore() error {
 	// A retention bound lowered between generations applies to the
 	// restored table too.
 	s.evictLocked()
+	if skipErr != nil {
+		s.persistMu.Lock()
+		s.lastPersistErr = skipErr
+		s.persistMu.Unlock()
+	}
+	return nil
+}
+
+// quarantine moves an unusable job table aside (jobs.json.corrupt) so
+// the daemon boots empty instead of crash-looping, and records the
+// cause for /healthz. The corrupt snapshot is preserved for forensics
+// and is overwritten by the next quarantine, not accumulated.
+func (s *Server) quarantine(path string, cause error) error {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Can't move it aside: the next persist would race the broken
+		// file. Refuse to start rather than flap.
+		return fmt.Errorf("serve: quarantine job table: %w (after %v)", err, cause)
+	}
+	s.persistMu.Lock()
+	s.lastPersistErr = cause
+	s.persistMu.Unlock()
 	return nil
 }

@@ -26,6 +26,7 @@ package qaoa2
 
 import (
 	"qaoa2/internal/backend"
+	"qaoa2/internal/faults"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/gw"
 	"qaoa2/internal/hpc"
@@ -34,6 +35,7 @@ import (
 	"qaoa2/internal/qaoa"
 	"qaoa2/internal/qaoa2"
 	"qaoa2/internal/qsim"
+	"qaoa2/internal/retry"
 	"qaoa2/internal/rng"
 	"qaoa2/internal/rqaoa"
 	"qaoa2/internal/runtime"
@@ -346,6 +348,67 @@ func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cf
 
 // GraphSpecOf converts a graph into its submission wire form.
 func GraphSpecOf(g *Graph) GraphSpec { return serve.GraphSpecOf(g) }
+
+// Fault-tolerant dispatch (retry/backoff/breaker under deterministic
+// fault injection; see DESIGN.md "Fault tolerance"). RetryPolicy
+// drives ServeClient and RemoteSolver resubmission with deterministic
+// jitter; a shared Breaker makes whole fleets of leaves fail fast
+// once a daemon is down; FaultInjector is the seeded chaos harness
+// the soak tests (and EXPERIMENTS.md recipes) replay by seed.
+type (
+	// RetryPolicy shapes capped-exponential-backoff retries.
+	RetryPolicy = retry.Policy
+	// RetryClass labels an error Retryable or Terminal.
+	RetryClass = retry.Class
+	// Breaker is a per-endpoint circuit breaker.
+	Breaker = retry.Breaker
+	// BreakerState is the breaker lifecycle state.
+	BreakerState = retry.BreakerState
+	// StatusError is a typed HTTP rejection carrying Retry-After.
+	StatusError = retry.StatusError
+	// FaultInjector draws deterministic fault schedules for chaos runs.
+	FaultInjector = faults.Injector
+	// FaultSite configures one injection point's knobs.
+	FaultSite = faults.Site
+	// FaultDecision is one request's injected verdict.
+	FaultDecision = faults.Decision
+	// FaultClass names one injectable failure mode.
+	FaultClass = faults.Class
+)
+
+// Error classes and breaker states.
+const (
+	// Retryable errors are worth another attempt (refused/reset
+	// connections, 5xx, 429, torn streams).
+	Retryable = retry.Retryable
+	// Terminal errors retry cannot fix (4xx, cancellation).
+	Terminal = retry.Terminal
+	// BreakerClosed passes requests and counts failures.
+	BreakerClosed = retry.BreakerClosed
+	// BreakerOpen fails fast until the cooldown elapses.
+	BreakerOpen = retry.BreakerOpen
+	// BreakerHalfOpen admits one probe to test recovery.
+	BreakerHalfOpen = retry.BreakerHalfOpen
+)
+
+// Fault-tolerance sentinels: a retry budget spent without success, a
+// breaker refusing fast, a job stream cut before its status line.
+var (
+	ErrRetryExhausted    = retry.ErrExhausted
+	ErrBreakerOpen       = retry.ErrOpen
+	ErrStreamInterrupted = serve.ErrStreamInterrupted
+)
+
+// DefaultRetryPolicy is the dispatch-layer retry default (4 attempts,
+// 50ms–2s backoff with jitter deterministic in seed).
+func DefaultRetryPolicy(seed uint64) RetryPolicy { return retry.Default(seed) }
+
+// ClassifyError reports whether err is worth retrying.
+func ClassifyError(err error) RetryClass { return retry.Classify(err) }
+
+// NewFaultInjector returns a seeded chaos injector; configure sites,
+// then wrap transports/handlers with its Transport/Middleware.
+func NewFaultInjector(seed uint64) *FaultInjector { return faults.New(seed) }
 
 // HPC workflow front end.
 type (

@@ -11,6 +11,14 @@
 //	curl -s localhost:8817/v1/solve -d '{"graph":{"nodes":3,"edges":[
 //	  {"i":0,"j":1,"w":1},{"i":1,"j":2,"w":1}]},"solver":"anneal"}'
 //	curl -s localhost:8817/v1/jobs/<id>/events   # NDJSON stream
+//
+// With -front the same binary becomes a fleet front door instead of a
+// worker: it routes submissions to the named workers by result
+// fingerprint, sweeps their caches, health-checks them, and re-parks
+// jobs off dead or draining workers. The wire surface is identical,
+// so clients point at either by URL alone:
+//
+//	qaoa2d -front "w0=http://10.0.0.1:8817,w1=http://10.0.0.2:8817"
 package main
 
 import (
@@ -45,7 +53,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		par     = fs.Int("parallelism", 0, "global worker-slot cap across running jobs (0 = GOMAXPROCS)")
 		jobPar  = fs.Int("job-parallelism", 0, "per-job worker budget clamp (0 = the global cap)")
 		queue   = fs.Int("queue", 64, "bound on waiting jobs; submissions beyond it get HTTP 429")
-		drainGP = fs.Duration("drain-grace", 30*time.Second, "HTTP shutdown grace after drain")
+		drainGP = fs.Duration("drain-grace", 30*time.Second, "drain deadline: HTTP shutdown grace, and the Retry-After horizon advertised to parked submitters")
+		front   = fs.String("front", "", "run as a fleet front door over `name=url,...` workers instead of solving locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,12 +64,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fs.Usage()
 		return 2
 	}
+	if *front != "" {
+		return runFront(*front, *addr, *drainGP, stdout, stderr, ready)
+	}
 
 	srv, err := serve.New(serve.Config{
 		GlobalParallelism: *par,
 		MaxJobParallelism: *jobPar,
 		QueueLimit:        *queue,
 		StateDir:          *dir,
+		DrainGrace:        *drainGP,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "qaoa2d: %v\n", err)

@@ -12,6 +12,11 @@
 //	workflow -jobs 8 -workers 1,2,4,8
 //	workflow -solve-nodes 200 -checkpoint run.ckpt   # kill it, re-run: it resumes
 //	workflow -submit http://127.0.0.1:8817           # remote solve via qaoa2d
+//
+// -submit accepts any endpoint that speaks the qaoa2d wire surface: a
+// single daemon or a fleet front door (qaoa2d -front), which routes
+// the job to a worker by result fingerprint and keeps the stream
+// alive across worker failures.
 package main
 
 import (
@@ -62,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		solveSeed   = fs.Uint64("solve-seed", 3, "seed for the runtime solve")
 		checkpoint  = fs.String("checkpoint", "", "checkpoint file for the runtime solve (resumes when present)")
 
-		submit      = fs.String("submit", "", "qaoa2d base URL: submit the solve remotely instead of running the experiments (e.g. http://127.0.0.1:8817)")
+		submit      = fs.String("submit", "", "qaoa2d or fleet front-door base URL: submit the solve remotely instead of running the experiments (e.g. http://127.0.0.1:8817)")
 		solveSolver = fs.String("solve-solver", "anneal", "sub-graph solver for the runtime solve, local or remote (registry names: "+qaoa2.SolverNamesHelp()+")")
 		solveMerge  = fs.String("solve-merge", "anneal", "merge solver for the runtime solve (same registry names)")
 	)

@@ -1,7 +1,10 @@
 package qaoa2_test
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"qaoa2"
@@ -200,5 +203,45 @@ func TestFacadeFaultTolerance(t *testing.T) {
 	in := qaoa2.NewFaultInjector(7).Site("s", qaoa2.FaultSite{P: 1})
 	if d := in.Decide("s"); d.Class == "" || d.Seq != 1 {
 		t.Fatalf("P=1 site passed: %+v", d)
+	}
+}
+
+// TestFacadeFleet pins the multi-node fleet surface: a coordinator
+// over two in-process workers built entirely through the root
+// package, routing a solve and answering the roster.
+func TestFacadeFleet(t *testing.T) {
+	var specs []qaoa2.FleetWorkerSpec
+	for i := 0; i < 2; i++ {
+		srv, err := qaoa2.NewServeServer(qaoa2.ServeConfig{GlobalParallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		specs = append(specs, qaoa2.FleetWorkerSpec{Name: fmt.Sprintf("w%d", i), URL: hs.URL})
+	}
+	c, err := qaoa2.NewFleetCoordinator(qaoa2.FleetConfig{Workers: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	g := qaoa2.ErdosRenyi(14, 0.3, qaoa2.Unweighted, qaoa2.NewRand(3))
+	req := qaoa2.SolveRequest{Graph: qaoa2.GraphSpecOf(g), MaxQubits: 8,
+		Solver: "anneal", Merge: "anneal", Seed: 3}
+	st, err := c.Solve(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != qaoa2.JobDone || st.Result == nil {
+		t.Fatalf("fleet solve: %+v", st)
+	}
+	ws := c.Workers()
+	if len(ws) != 2 || ws[0].State != qaoa2.FleetWorkerHealthy {
+		t.Fatalf("roster: %+v", ws)
+	}
+	if c.Stats().Routed != 1 {
+		t.Fatalf("stats: %+v", c.Stats())
 	}
 }

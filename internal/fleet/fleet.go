@@ -1,0 +1,732 @@
+// Package fleet promotes the single qaoa2d daemon + RemoteSolver pair
+// into a coordinator/worker fleet: a front door that routes each solve
+// to one of several registered qaoa2d workers by its fingerprint job
+// id on a consistent-hash ring, sweeps every worker's result cache
+// before routing (fingerprint keys are location-independent, so a
+// result computed anywhere in the fleet answers a submission to the
+// front door), health-checks workers over /healthz behind per-worker
+// circuit breakers, and re-parks jobs off dead or draining workers —
+// fetching the drain checkpoint from the old worker when its HTTP
+// plane still answers and seeding it to the replacement, so a
+// re-routed job resumes instead of recomputing.
+//
+// Correctness never depends on the hand-off: the runtime returns
+// bit-identical results at any parallelism from any checkpoint prefix
+// (including none), so a lost checkpoint costs recompute time only.
+// That is what makes the fleet's failover safe to run against workers
+// that die without warning.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qaoa2/internal/retry"
+	"qaoa2/internal/serve"
+)
+
+// WorkerState is a registered worker's health as seen by the
+// coordinator's probe loop.
+type WorkerState string
+
+const (
+	// WorkerHealthy workers accept new jobs.
+	WorkerHealthy WorkerState = "healthy"
+	// WorkerDraining workers are shutting down gracefully: they reject
+	// new submissions but their HTTP plane still answers, so parked
+	// checkpoints can be fetched for re-routing.
+	WorkerDraining WorkerState = "draining"
+	// WorkerDead workers failed their last probe (or their breaker is
+	// open); jobs route around them and their in-flight work restarts
+	// elsewhere.
+	WorkerDead WorkerState = "dead"
+)
+
+// WorkerSpec registers one worker with the coordinator.
+type WorkerSpec struct {
+	// Name is the stable ring identity. Routing hashes the name, not
+	// the URL, so a worker that moves (new port after a restart) keeps
+	// its key range.
+	Name string
+	// URL is the worker's base URL, e.g. "http://127.0.0.1:8817".
+	URL string
+}
+
+// WorkerStatus is one worker's externally visible state snapshot.
+type WorkerStatus struct {
+	Name    string             `json:"name"`
+	URL     string             `json:"url"`
+	State   WorkerState        `json:"state"`
+	Breaker retry.BreakerState `json:"breaker"`
+	LastErr string             `json:"lastError,omitempty"`
+}
+
+// Stats counts the coordinator's routing decisions.
+type Stats struct {
+	// Routed counts jobs submitted to a worker (first routes, not
+	// failover resubmissions).
+	Routed int
+	// CacheHits counts submissions answered by some worker's result
+	// cache without routing a solve.
+	CacheHits int
+	// Reparks counts failovers that salvaged a checkpoint from the old
+	// worker and seeded it to the new one (the job resumed).
+	Reparks int
+	// Failovers counts re-routes in total, with or without a salvaged
+	// checkpoint.
+	Failovers int
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers is the fleet roster. At least one required.
+	Workers []WorkerSpec
+	// VirtualNodes is the number of ring positions per worker
+	// (default 64): enough that key ranges stay within a few percent
+	// of even for small fleets.
+	VirtualNodes int
+	// HealthInterval is the probe cadence (default 1s; negative
+	// disables the probe loop — tests drive CheckNow directly).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// Retry shapes each worker client's unary retries. The zero value
+	// gets a small fleet default seeded from Seed.
+	Retry retry.Policy
+	// Seed seeds retry jitter (fleet runs stay replayable).
+	Seed uint64
+	// MaxRoutes bounds how many worker attempts one job may consume
+	// across failovers (default 2×len(Workers)+1).
+	MaxRoutes int
+	// Transport, when set, wraps every worker client's HTTP transport
+	// (tests inject fault injectors here).
+	Transport func(workerName string, c *serve.Client)
+}
+
+// ErrNoWorkers reports that no live worker is available to route to.
+var ErrNoWorkers = errors.New("fleet: no live worker available")
+
+// worker is the coordinator's per-worker record. The client, breaker
+// and name are immutable after New; state/lastErr are guarded by mu.
+type worker struct {
+	name    string
+	url     string
+	client  *serve.Client
+	breaker *retry.Breaker
+
+	mu      sync.Mutex
+	state   WorkerState
+	lastErr error
+}
+
+func (w *worker) setState(s WorkerState, err error) {
+	w.mu.Lock()
+	w.state, w.lastErr = s, err
+	w.mu.Unlock()
+}
+
+func (w *worker) getState() WorkerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// Coordinator is the fleet front door: routing, health, failover.
+type Coordinator struct {
+	cfg     Config
+	ring    *ring
+	workers map[string]*worker
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	// routes remembers which worker each front-door-submitted job id
+	// went to, so status and event-stream requests proxy to the right
+	// worker without sweeping the fleet. Bounded FIFO.
+	routesMu   sync.Mutex
+	routes     map[string]routeEntry
+	routeOrder []string
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// routeEntry remembers enough about a front-door submission to
+// re-route it if its worker dies mid-stream.
+type routeEntry struct {
+	worker string
+	req    serve.SolveRequest
+}
+
+// maxRoutesRemembered bounds the front door's id→worker memory; the
+// oldest entries fall off and their streams fall back to a fleet
+// sweep.
+const maxRoutesRemembered = 4096
+
+// New builds the ring, starts the health loop, and returns the
+// coordinator. Workers start Healthy and are corrected by the first
+// probe round.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = 64
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.MaxRoutes <= 0 {
+		cfg.MaxRoutes = 2*len(cfg.Workers) + 1
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = retry.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    250 * time.Millisecond,
+			Seed:        cfg.Seed,
+		}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		workers: make(map[string]*worker, len(cfg.Workers)),
+		routes:  make(map[string]routeEntry),
+		stop:    make(chan struct{}),
+	}
+	names := make([]string, 0, len(cfg.Workers))
+	for _, spec := range cfg.Workers {
+		if spec.Name == "" || spec.URL == "" {
+			return nil, fmt.Errorf("fleet: worker needs name and url, got %+v", spec)
+		}
+		if _, dup := c.workers[spec.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate worker name %q", spec.Name)
+		}
+		br := &retry.Breaker{}
+		cl := &serve.Client{
+			Base:    spec.URL,
+			Retry:   cfg.Retry,
+			Breaker: br,
+		}
+		if cfg.Transport != nil {
+			cfg.Transport(spec.Name, cl)
+		}
+		c.workers[spec.Name] = &worker{
+			name:    spec.Name,
+			url:     spec.URL,
+			client:  cl,
+			breaker: br,
+			state:   WorkerHealthy,
+		}
+		names = append(names, spec.Name)
+	}
+	c.ring = newRing(names, cfg.VirtualNodes)
+	if cfg.HealthInterval > 0 {
+		c.wg.Add(1)
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+// Close stops the health loop. Worker daemons are not touched — the
+// coordinator never owns their lifecycle.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Stats snapshots the routing counters.
+func (c *Coordinator) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// Workers snapshots every worker's health, sorted by name.
+func (c *Coordinator) Workers() []WorkerStatus {
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		w.mu.Lock()
+		ws := WorkerStatus{
+			Name:    w.name,
+			URL:     w.url,
+			State:   w.state,
+			Breaker: w.breaker.State(),
+		}
+		if w.lastErr != nil {
+			ws.LastErr = w.lastErr.Error()
+		}
+		w.mu.Unlock()
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// healthLoop probes all workers every HealthInterval until Close.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	c.CheckNow()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.CheckNow()
+		}
+	}
+}
+
+// CheckNow probes every worker once, concurrently, and updates their
+// states. Exported so tests (and the front door's /healthz) can force
+// a synchronous refresh instead of waiting out the interval.
+func (c *Coordinator) CheckNow() {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.probe(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe is one health check: /healthz under the worker's breaker. A
+// probe failure marks the worker dead immediately — routing around a
+// live-but-flaky worker is cheap (determinism makes re-routed work
+// bit-identical), while routing to a dead one costs a full client
+// retry budget per job.
+func (c *Coordinator) probe(w *worker) {
+	if err := w.breaker.Allow(); err != nil {
+		w.setState(WorkerDead, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	// Probes bypass the client's retry policy: one request, one
+	// verdict. A worker that needs retries to answer /healthz IS the
+	// signal the breaker exists to accumulate.
+	body, err := (&serve.Client{Base: w.url, HTTP: w.client.HTTP}).Health(ctx)
+	if err != nil {
+		w.breaker.Failure()
+		w.setState(WorkerDead, err)
+		return
+	}
+	w.breaker.Success()
+	if body["status"] == "draining" {
+		w.setState(WorkerDraining, nil)
+		return
+	}
+	w.setState(WorkerHealthy, nil)
+}
+
+// hash64 is the ring's hash: FNV-1a, the same family the checkpoint
+// fingerprints use.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ring is an immutable consistent-hash ring over worker names.
+type ring struct {
+	hashes  []uint64 // sorted vnode positions
+	owners  []string // owners[i] owns hashes[i]
+	members []string
+}
+
+func newRing(names []string, vnodes int) *ring {
+	r := &ring{members: append([]string(nil), names...)}
+	type vn struct {
+		h uint64
+		n string
+	}
+	all := make([]vn, 0, len(names)*vnodes)
+	for _, n := range names {
+		for i := 0; i < vnodes; i++ {
+			all = append(all, vn{hash64(fmt.Sprintf("%s#%d", n, i)), n})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].h != all[j].h {
+			return all[i].h < all[j].h
+		}
+		return all[i].n < all[j].n // total order even on hash ties
+	})
+	for _, v := range all {
+		r.hashes = append(r.hashes, v.h)
+		r.owners = append(r.owners, v.n)
+	}
+	return r
+}
+
+// preference walks the ring clockwise from the key's position and
+// returns every member once, in encounter order: position 0 is the
+// key's home worker, the rest are its failover order. The list is a
+// pure function of (key, membership), so every coordinator instance —
+// and every test — derives the identical route.
+func (r *ring) preference(key string) []string {
+	if len(r.hashes) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.hashes) && len(out) < len(r.members); i++ {
+		n := r.owners[(start+i)%len(r.hashes)]
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Route reports which live worker the job id routes to right now —
+// the first non-dead worker in the ring's preference order. Draining
+// workers are skipped for NEW work but still count as checkpoint
+// donors elsewhere.
+func (c *Coordinator) Route(id string) (string, error) {
+	w, err := c.pick(id, nil)
+	if err != nil {
+		return "", err
+	}
+	return w.name, nil
+}
+
+// pick returns the first healthy, un-tried worker in preference
+// order.
+func (c *Coordinator) pick(id string, tried map[string]bool) (*worker, error) {
+	for _, name := range c.ring.preference(id) {
+		if tried[name] {
+			continue
+		}
+		w := c.workers[name]
+		if w.getState() == WorkerHealthy {
+			return w, nil
+		}
+	}
+	return nil, ErrNoWorkers
+}
+
+// CacheSweep asks every non-dead worker whether it already holds a
+// completed result for the job id; the first hit wins. Fingerprint
+// ids are location-independent, so a hit from ANY worker is the
+// answer to THIS submission.
+func (c *Coordinator) CacheSweep(ctx context.Context, id string) (serve.JobStatus, bool) {
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	type hit struct {
+		st serve.JobStatus
+		ok bool
+	}
+	results := make(chan hit, len(c.workers))
+	n := 0
+	for _, w := range c.workers {
+		if w.getState() == WorkerDead {
+			continue
+		}
+		n++
+		go func(w *worker) {
+			// Single attempt per worker: a sweep is advisory, the solve
+			// path is the fallback.
+			cl := &serve.Client{Base: w.url, HTTP: w.client.HTTP}
+			st, ok, err := cl.CachePeek(sctx, id)
+			results <- hit{st, ok && err == nil}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		h := <-results
+		if h.ok {
+			cancel()
+			return h.st, true
+		}
+	}
+	return serve.JobStatus{}, false
+}
+
+// Solve runs one request to completion somewhere in the fleet: cache
+// sweep, route, submit, follow — and on worker death or drain,
+// salvage the checkpoint when possible and re-route. Events forward
+// to onEvent exactly once each with strictly increasing Seq, even
+// across a failover (the replacement worker's replay is deduplicated
+// by task identity and renumbered in place; on the no-failure path
+// the numbers pass through unchanged).
+func (c *Coordinator) Solve(ctx context.Context, req serve.SolveRequest, onEvent func(serve.Event)) (serve.JobStatus, error) {
+	id, err := req.JobKey()
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	if st, ok := c.CacheSweep(ctx, id); ok {
+		c.statsMu.Lock()
+		c.stats.CacheHits++
+		c.statsMu.Unlock()
+		return st, nil
+	}
+	forward := c.dedupForwarder(onEvent)
+	c.statsMu.Lock()
+	c.stats.Routed++
+	c.statsMu.Unlock()
+	return c.solveRouted(ctx, id, req, forward)
+}
+
+// dedupForwarder wraps onEvent with the cross-worker exactly-once
+// guarantee: duplicate task events (a replacement worker replaying
+// checkpointed work) are dropped, survivors are renumbered into one
+// gap-free sequence.
+func (c *Coordinator) dedupForwarder(onEvent func(serve.Event)) func(serve.Event) {
+	delivered := make(map[string]bool)
+	seq := 0
+	return func(ev serve.Event) {
+		key := ev.Kind + "|" + ev.Task
+		if delivered[key] {
+			return
+		}
+		delivered[key] = true
+		seq++
+		ev.Seq = seq
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+}
+
+// solveRouted is the failover loop shared by Solve and the front
+// door's stream proxy.
+func (c *Coordinator) solveRouted(ctx context.Context, id string, req serve.SolveRequest, forward func(serve.Event)) (serve.JobStatus, error) {
+	var ckpt []byte
+	tried := make(map[string]bool)
+	var lastErr error
+	for route := 0; route < c.cfg.MaxRoutes; route++ {
+		w, err := c.pick(id, tried)
+		if err != nil {
+			// Every worker tried or down: refresh health and start a
+			// second pass — a drained worker may have restarted.
+			if len(tried) == 0 {
+				return serve.JobStatus{}, c.wrap(err, lastErr)
+			}
+			tried = make(map[string]bool)
+			c.CheckNow()
+			if w, err = c.pick(id, tried); err != nil {
+				return serve.JobStatus{}, c.wrap(err, lastErr)
+			}
+		}
+		tried[w.name] = true
+		if route > 0 {
+			c.statsMu.Lock()
+			c.stats.Failovers++
+			if ckpt != nil {
+				c.stats.Reparks++
+			}
+			c.statsMu.Unlock()
+		}
+		if ckpt != nil {
+			// Best-effort: a rejected or lost seed only costs recompute.
+			w.client.SeedCheckpoint(ctx, id, ckpt)
+		}
+		c.remember(id, w.name, req)
+		st, err := c.runOn(ctx, w, req, forward)
+		if err == nil && (st.State == serve.JobDone || st.State == serve.JobFailed) {
+			// JobFailed is a deterministic solver error: every worker
+			// would fail identically, so surface it instead of burning
+			// the fleet on re-runs.
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return serve.JobStatus{}, ctx.Err()
+		}
+		lastErr = err
+		// The worker drained (parked status) or died mid-job. Salvage
+		// its checkpoint while the HTTP plane still answers — a
+		// draining worker's does — so the replacement resumes instead
+		// of recomputing.
+		if data, ok, ferr := w.client.FetchCheckpoint(ctx, id); ok && ferr == nil {
+			ckpt = data
+		}
+		if err != nil {
+			w.setState(WorkerDead, err)
+		}
+	}
+	return serve.JobStatus{}, fmt.Errorf("fleet: job %s exhausted %d routes: %w", id, c.cfg.MaxRoutes, lastErr)
+}
+
+func (c *Coordinator) wrap(err, last error) error {
+	if last != nil {
+		return fmt.Errorf("%w (last worker error: %v)", err, last)
+	}
+	return err
+}
+
+// runOn submits and follows one job on one worker. A nil error with a
+// non-terminal status means the worker parked the job (drain).
+func (c *Coordinator) runOn(ctx context.Context, w *worker, req serve.SolveRequest, forward func(serve.Event)) (serve.JobStatus, error) {
+	st, err := w.client.Submit(ctx, req)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	if st.State == serve.JobDone || st.State == serve.JobFailed {
+		return st, nil
+	}
+	return w.client.Follow(ctx, st.ID, forward)
+}
+
+// remember records a front-door routing decision for later status and
+// stream proxying, evicting oldest-first past the bound.
+func (c *Coordinator) remember(id, workerName string, req serve.SolveRequest) {
+	c.routesMu.Lock()
+	defer c.routesMu.Unlock()
+	if _, known := c.routes[id]; !known {
+		c.routeOrder = append(c.routeOrder, id)
+	}
+	c.routes[id] = routeEntry{worker: workerName, req: req}
+	for len(c.routeOrder) > maxRoutesRemembered {
+		delete(c.routes, c.routeOrder[0])
+		c.routeOrder = c.routeOrder[1:]
+	}
+}
+
+func (c *Coordinator) lookupRoute(id string) (routeEntry, bool) {
+	c.routesMu.Lock()
+	defer c.routesMu.Unlock()
+	e, ok := c.routes[id]
+	return e, ok
+}
+
+// JobStatus proxies one job's status: the assigned worker first, then
+// a fleet-wide sweep (another coordinator may have routed it, or the
+// route memory was evicted).
+func (c *Coordinator) JobStatus(ctx context.Context, id string) (serve.JobStatus, error) {
+	if e, ok := c.lookupRoute(id); ok {
+		if w := c.workers[e.worker]; w != nil && w.getState() != WorkerDead {
+			if st, err := w.client.Job(ctx, id); err == nil {
+				return st, nil
+			}
+		}
+	}
+	for _, w := range c.workers {
+		if w.getState() == WorkerDead {
+			continue
+		}
+		cl := &serve.Client{Base: w.url, HTTP: w.client.HTTP}
+		if st, err := cl.Job(ctx, id); err == nil {
+			return st, nil
+		}
+	}
+	return serve.JobStatus{}, serve.ErrNotFound
+}
+
+// FollowJob proxies one job's event stream through the front door:
+// the assigned worker's NDJSON stream passes through with Seq
+// preserved; if that worker dies or drains mid-stream and the
+// original request is known, the job re-routes (checkpoint salvage
+// included) and the subscriber's sequence continues gap-free,
+// duplicates dropped.
+func (c *Coordinator) FollowJob(ctx context.Context, id string, onEvent func(serve.Event)) (serve.JobStatus, error) {
+	forward := c.dedupForwarder(onEvent)
+	entry, known := c.lookupRoute(id)
+	if known {
+		w := c.workers[entry.worker]
+		if w != nil && w.getState() != WorkerDead {
+			st, err := w.client.Follow(ctx, id, forward)
+			if err == nil && (st.State == serve.JobDone || st.State == serve.JobFailed) {
+				return st, nil
+			}
+			if ctx.Err() != nil {
+				return serve.JobStatus{}, ctx.Err()
+			}
+			if err != nil {
+				w.setState(WorkerDead, err)
+			}
+			if data, ok, ferr := w.client.FetchCheckpoint(ctx, id); ok && ferr == nil {
+				// Seed whoever the failover loop picks next.
+				if nw, perr := c.pick(id, map[string]bool{w.name: true}); perr == nil {
+					nw.client.SeedCheckpoint(ctx, id, data)
+				}
+			}
+		}
+		// Re-route with the remembered request; the dedup forwarder
+		// keeps the subscriber's sequence exactly-once.
+		return c.solveRouted(ctx, id, entry.req, forward)
+	}
+	// Unknown route: find any worker that knows the job and stream
+	// from it.
+	var lastErr error = serve.ErrNotFound
+	for _, name := range c.ring.preference(id) {
+		w := c.workers[name]
+		if w.getState() == WorkerDead {
+			continue
+		}
+		st, err := w.client.Follow(ctx, id, forward)
+		if err == nil {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return serve.JobStatus{}, ctx.Err()
+		}
+		lastErr = err
+	}
+	return serve.JobStatus{}, lastErr
+}
+
+// Submit routes one request to a worker without waiting for the
+// result (the front door's POST /v1/solve): cache sweep first, then
+// route and submit. The returned status is the worker's submit
+// answer.
+func (c *Coordinator) Submit(ctx context.Context, req serve.SolveRequest) (serve.JobStatus, error) {
+	id, err := req.JobKey()
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	if st, ok := c.CacheSweep(ctx, id); ok {
+		c.statsMu.Lock()
+		c.stats.CacheHits++
+		c.statsMu.Unlock()
+		return st, nil
+	}
+	tried := make(map[string]bool)
+	var lastErr error
+	for route := 0; route < c.cfg.MaxRoutes; route++ {
+		w, err := c.pick(id, tried)
+		if err != nil {
+			return serve.JobStatus{}, c.wrap(err, lastErr)
+		}
+		tried[w.name] = true
+		st, serr := w.client.Submit(ctx, req)
+		if serr == nil {
+			c.statsMu.Lock()
+			c.stats.Routed++
+			c.statsMu.Unlock()
+			c.remember(id, w.name, req)
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return serve.JobStatus{}, ctx.Err()
+		}
+		lastErr = serr
+		w.setState(WorkerDead, serr)
+	}
+	return serve.JobStatus{}, fmt.Errorf("fleet: submit %s exhausted routes: %w", id, lastErr)
+}
+
+// describeWorkers renders the roster compactly for error messages and
+// the front door's health body.
+func describeWorkers(ws []WorkerStatus) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprintf("%s=%s", w.Name, w.State)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/hpc"
+	q2 "qaoa2/internal/qaoa2"
+	"qaoa2/internal/rng"
+	"qaoa2/internal/serve"
+)
+
+// TestFrontDoorWireCompatible: a serve.Client pointed at the front
+// door behaves exactly as one pointed at a single daemon — same
+// results, gap-free event sequence, working status/cache endpoints.
+func TestFrontDoorWireCompatible(t *testing.T) {
+	_, c := startFleet(t, 3, nil)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+
+	req := fleetReq(24, 8, 41)
+	want := refSolve(t, nil, []serve.SolveRequest{req})[0]
+
+	cl := &serve.Client{Base: front.URL}
+	var seqs []int
+	st, err := cl.Solve(context.Background(), req, func(ev serve.Event) {
+		seqs = append(seqs, ev.Seq)
+	})
+	if err != nil {
+		t.Fatalf("solve through front door: %v", err)
+	}
+	if st.State != serve.JobDone || st.Result == nil {
+		t.Fatalf("front-door job: %+v", st)
+	}
+	if st.Result.Spins != want.Result.Spins || st.Result.Value != want.Result.Value {
+		t.Fatal("front-door solve differs from single-daemon solve")
+	}
+	if len(seqs) == 0 {
+		t.Fatal("no events streamed through the front door")
+	}
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("event sequence has gaps: %v", seqs)
+		}
+	}
+
+	// Status and cache-peek answer for the finished job.
+	got, err := cl.Job(context.Background(), st.ID)
+	if err != nil || got.State != serve.JobDone {
+		t.Fatalf("front-door job status: %+v, %v", got, err)
+	}
+	peek, ok, err := cl.CachePeek(context.Background(), st.ID)
+	if err != nil || !ok || !peek.Cached {
+		t.Fatalf("front-door cache peek: %+v, ok=%v, %v", peek, ok, err)
+	}
+	if _, ok, err := cl.CachePeek(context.Background(), "no-such-job"); err != nil || ok {
+		t.Fatalf("cache peek for unknown id: ok=%v, %v", ok, err)
+	}
+
+	// Roster and aggregate health.
+	var roster []WorkerStatus
+	getJSON(t, front.URL+"/v1/fleet/workers", &roster)
+	if len(roster) != 3 {
+		t.Fatalf("roster: %+v", roster)
+	}
+	var health map[string]string
+	getJSON(t, front.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %+v", health)
+	}
+}
+
+// TestRemoteSolverThroughFrontDoor: hpc.RemoteSolver — the leaf
+// dispatcher from the HPC plane — works against the fleet unchanged,
+// and a full divide-and-conquer solve with fleet-dispatched leaves is
+// bit-identical to the same solve dispatched to a single daemon.
+func TestRemoteSolverThroughFrontDoor(t *testing.T) {
+	_, c := startFleet(t, 3, nil)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+
+	// Single-daemon reference for the leaf dispatcher.
+	ref, err := serve.New(serve.Config{GlobalParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	single := httptest.NewServer(ref.Handler())
+	defer single.Close()
+
+	big := graph.ErdosRenyi(36, 0.15, graph.Unweighted, rng.New(5))
+	solveVia := func(base string) *q2.Result {
+		res, err := q2.Solve(big, q2.Options{
+			MaxQubits:   8,
+			Solver:      hpc.RemoteSolver{Client: &serve.Client{Base: base}},
+			MergeSolver: q2.AnnealSolver{},
+			Seed:        4,
+		})
+		if err != nil {
+			t.Fatalf("solve via %s: %v", base, err)
+		}
+		return res
+	}
+	fleetRes := solveVia(front.URL)
+	singleRes := solveVia(single.URL)
+	if serve.EncodeSpins(fleetRes.Cut.Spins) != serve.EncodeSpins(singleRes.Cut.Spins) {
+		t.Fatal("fleet-dispatched solve differs from single-daemon dispatch")
+	}
+	if fleetRes.Cut.Value != singleRes.Cut.Value {
+		t.Fatalf("fleet value %v, single-daemon value %v", fleetRes.Cut.Value, singleRes.Cut.Value)
+	}
+	if fleetRes.SubGraphs < 2 {
+		t.Fatalf("instance did not exercise division (%d sub-graphs)", fleetRes.SubGraphs)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

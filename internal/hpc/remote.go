@@ -101,6 +101,29 @@ func (s RemoteSolver) Name() string {
 	return "remote:" + solver
 }
 
+// ConfigTag exposes the result-determining configuration — what goes
+// into the SolveRequest — and nothing else. Client identity, retry
+// shape, breakers and timeouts are transport, not identity: the
+// daemons are deterministic, so any of them answers a given request
+// with the same bits. This keeps checkpoint headers stable across
+// processes and daemon URLs, which is what lets a fleet re-park a
+// remote-dispatched run onto a different worker and resume it.
+func (s RemoteSolver) ConfigTag() string {
+	sub, merge := s.Solver, s.Merge
+	if sub == "" {
+		sub = "anneal"
+	}
+	if merge == "" {
+		merge = "anneal"
+	}
+	fb := ""
+	if s.Fallback != nil {
+		fb = s.Fallback.Name()
+	}
+	return fmt.Sprintf("remote|solver:%s|merge:%s|layers:%d|maxQubits:%d|fallback:%s",
+		sub, merge, s.Layers, s.MaxQubits, fb)
+}
+
 // SolveSub implements SubSolver by submitting the sub-graph and
 // waiting on the daemon's event stream, retrying transient failures
 // and degrading to Fallback when the remote path is exhausted.

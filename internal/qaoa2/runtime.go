@@ -62,10 +62,17 @@ func configTag(opts Options) string {
 }
 
 // solverTag fingerprints one solver role: canonical spec when the
-// solver came from the registry, printed state otherwise.
+// solver came from the registry, the solver's own ConfigTag when it
+// provides one (solvers holding process-local state — connections,
+// breakers — implement it to expose only their result-determining
+// configuration, so their checkpoints stay resumable across
+// processes), printed state otherwise.
 func solverTag(spec solver.Spec, s SubSolver) string {
 	if spec.Name != "" {
 		return "spec:" + spec.Canonical()
+	}
+	if ct, ok := s.(interface{ ConfigTag() string }); ok {
+		return "tag:" + ct.ConfigTag()
 	}
 	return fmt.Sprintf("%#v", s)
 }

@@ -159,6 +159,23 @@ func OpenCheckpoint(path string, h Header) (*Checkpoint, error) {
 	return c, nil
 }
 
+// SniffHeader parses the header line of serialized checkpoint data
+// without opening a file. The fleet's re-park hand-off uses it to
+// sanity-check a donated checkpoint against the receiving job before
+// writing it to disk; OpenCheckpoint's full header match remains the
+// correctness gate.
+func SniffHeader(data []byte) (Header, error) {
+	var h Header
+	lines := splitLines(data)
+	if len(lines) == 0 {
+		return h, fmt.Errorf("runtime: empty checkpoint data")
+	}
+	if err := json.Unmarshal(lines[0], &h); err != nil {
+		return h, fmt.Errorf("runtime: checkpoint header: %w", err)
+	}
+	return h, nil
+}
+
 // load parses an existing checkpoint file; it returns false when the
 // header does not match (the file must be restarted). Malformed entry
 // lines — in particular a torn final line from a killed run — are

@@ -264,12 +264,23 @@ func (c *Client) Follow(ctx context.Context, id string, onEvent func(Event)) (Jo
 			}
 			return JobStatus{}, fmt.Errorf("%w after %d attempts: %w", retry.ErrExhausted, attempt, err)
 		}
+		// Honor a server Retry-After hint when it exceeds the backoff
+		// schedule: a draining daemon or a deep queue knows its own
+		// recovery horizon better than our exponential curve does.
+		// Policy.Do already does this for unary calls; the reconnect
+		// loop must match, or Follow hammers a congested server at
+		// whatever cadence the jittered curve happens to pick.
+		delay := pol.Delay(attempt)
+		var se *retry.StatusError
+		if errors.As(err, &se) && se.RetryAfter > delay {
+			delay = se.RetryAfter
+		}
 		if serr := pol.Sleep; serr != nil {
-			if e := serr(ctx, pol.Delay(attempt)); e != nil {
+			if e := serr(ctx, delay); e != nil {
 				return JobStatus{}, err
 			}
 		} else {
-			t := time.NewTimer(pol.Delay(attempt))
+			t := time.NewTimer(delay)
 			select {
 			case <-t.C:
 			case <-ctx.Done():
@@ -293,4 +304,90 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest, onEvent func(Event
 		return st, nil
 	}
 	return c.Follow(ctx, st.ID, onEvent)
+}
+
+// CachePeek asks whether this server already holds a completed result
+// for the fingerprint job id. ok is false when it does not (the 404
+// is not an error — it is the expected answer for a cold cache); any
+// other failure surfaces as err after the client's retry policy.
+func (c *Client) CachePeek(ctx context.Context, id string) (JobStatus, bool, error) {
+	var st JobStatus
+	err := c.policy().Do(ctx, func(actx context.Context) error {
+		st = JobStatus{}
+		return c.getJSON(actx, "/v1/cache/"+id, &st)
+	})
+	if err != nil {
+		var se *retry.StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return JobStatus{}, false, nil
+		}
+		return JobStatus{}, false, err
+	}
+	return st, true, nil
+}
+
+// FetchCheckpoint downloads the raw checkpoint bytes of a job — the
+// donor half of the fleet's re-park hand-off. ErrNotFound-shaped 404s
+// (job unknown, no checkpoint written) surface as ok=false.
+func (c *Client) FetchCheckpoint(ctx context.Context, id string) ([]byte, bool, error) {
+	var data []byte
+	err := c.policy().Do(ctx, func(actx context.Context) error {
+		hreq, err := http.NewRequestWithContext(actx, http.MethodGet, c.url("/v1/jobs/"+id+"/checkpoint"), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		data, err = io.ReadAll(resp.Body)
+		return err
+	})
+	if err != nil {
+		var se *retry.StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// SeedCheckpoint uploads checkpoint bytes for a job id before it is
+// (re)submitted to this server — the receiver half of the re-park
+// hand-off. Safe to retry: the server installs the checkpoint with an
+// atomic rename.
+func (c *Client) SeedCheckpoint(ctx context.Context, id string, data []byte) error {
+	return c.policy().Do(ctx, func(actx context.Context) error {
+		hreq, err := http.NewRequestWithContext(actx, http.MethodPut, c.url("/v1/jobs/"+id+"/checkpoint"), bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.http().Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	})
+}
+
+// Health fetches /healthz: the server's liveness/drain state. The
+// fleet's health checker calls this under its per-worker breaker; no
+// client-side retry (a health probe that needs retries IS the signal).
+func (c *Client) Health(ctx context.Context) (map[string]string, error) {
+	var body map[string]string
+	if err := c.getJSON(ctx, "/healthz", &body); err != nil {
+		return nil, err
+	}
+	return body, nil
 }

@@ -170,8 +170,11 @@ func TestDecodeErrorTyped(t *testing.T) {
 	if !errors.As(err, &se) {
 		t.Fatalf("draining submit returned %T (%v), want *retry.StatusError", err, err)
 	}
-	if se.Code != http.StatusServiceUnavailable || se.RetryAfter != time.Second {
-		t.Fatalf("got code %d retry-after %v, want 503 with 1s hint", se.Code, se.RetryAfter)
+	// The drain just started, so the hint is the full default
+	// DrainGrace (5s), rounded up to whole seconds — not the old
+	// hard-coded 1s.
+	if se.Code != http.StatusServiceUnavailable || se.RetryAfter != 5*time.Second {
+		t.Fatalf("got code %d retry-after %v, want 503 with 5s hint", se.Code, se.RetryAfter)
 	}
 	if retry.Classify(err) != retry.Retryable {
 		t.Fatal("503 classified terminal")

@@ -329,7 +329,10 @@ func TestFailedRetryAdoptsNewSchedulingFields(t *testing.T) {
 }
 
 // TestTerminalJobEviction: the retention bound drops oldest-settled
-// jobs (and their checkpoints); evicted submissions re-solve.
+// jobs (and their checkpoints); evicted submissions re-solve. An
+// evicted job leaves a terminal-status tombstone behind, so status
+// lookups and cache peeks still answer — only the event history and
+// checkpoint are reclaimed.
 func TestTerminalJobEviction(t *testing.T) {
 	setGate(t, 0, true)
 	dir := t.TempDir()
@@ -356,8 +359,15 @@ func TestTerminalJobEviction(t *testing.T) {
 	if n := len(s.Jobs()); n != 2 {
 		t.Fatalf("%d jobs retained, want 2", n)
 	}
-	if _, err := s.Job(ids[0]); err != ErrNotFound {
-		t.Fatalf("oldest job still present: %v", err)
+	st0, err := s.Job(ids[0])
+	if err != nil {
+		t.Fatalf("evicted job lost its tombstone: %v", err)
+	}
+	if st0.State != JobDone {
+		t.Fatalf("tombstone state %v, want done", st0.State)
+	}
+	if ck, ok := s.CachePeek(ids[0]); !ok || !ck.Cached {
+		t.Fatalf("cache peek on tombstone: ok=%v st=%+v", ok, ck)
 	}
 	if _, err := os.Stat(filepath.Join(dir, ids[0]+".ckpt")); !os.IsNotExist(err) {
 		t.Fatalf("evicted job's checkpoint not removed: %v", err)

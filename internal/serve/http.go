@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 )
 
 // StreamLine is one NDJSON line of GET /v1/jobs/{id}/events: either a
@@ -19,12 +21,20 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// maxCheckpointImport bounds PUT /v1/jobs/{id}/checkpoint bodies: a
+// checkpoint line is ~100 bytes per task, so 64 MiB is orders of
+// magnitude past any real solve.
+const maxCheckpointImport = 64 << 20
+
 // Handler returns the HTTP API:
 //
 //	POST /v1/solve          submit a SolveRequest → JobStatus
 //	GET  /v1/jobs           list all jobs
 //	GET  /v1/jobs/{id}      one job's status (result when done)
 //	GET  /v1/jobs/{id}/events  NDJSON progress stream (replay + live)
+//	GET  /v1/cache/{id}     result-cache peek (done jobs only; 404 otherwise)
+//	GET  /v1/jobs/{id}/checkpoint  raw checkpoint bytes (fleet re-park donor)
+//	PUT  /v1/jobs/{id}/checkpoint  seed a checkpoint (fleet re-park receiver)
 //	GET  /healthz           liveness/drain state
 //
 // Submission errors map to 400 (bad request), 429 (queue full) and
@@ -35,6 +45,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/cache/{id}", s.handleCachePeek)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpointGet)
+	mux.HandleFunc("PUT /v1/jobs/{id}/checkpoint", s.handleCheckpointPut)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -47,7 +60,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps err to its status code. retryAfter > 0 attaches a
+// Retry-After header on the back-pressure codes (429/503) — the server
+// derives it from actual queue depth / drain deadline via
+// retryAfterHint, so clients honoring it (retry.Classify does) back
+// off proportionally to the real congestion instead of hammering a
+// full queue every second.
+func writeError(w http.ResponseWriter, err error, retryAfter int) {
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -57,10 +76,8 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	}
-	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		// Back-pressure hint: a full queue drains and a draining daemon
-		// restarts on the order of seconds, not milliseconds.
-		w.Header().Set("Retry-After", "1")
+	if retryAfter > 0 && (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
@@ -70,12 +87,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("serve: bad request body: %w", err))
+		writeError(w, fmt.Errorf("serve: bad request body: %w", err), 0)
 		return
 	}
 	st, err := s.Submit(req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, err, s.retryAfterHint(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -88,10 +105,53 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, err, 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCachePeek answers "does any worker already hold this result?"
+// without side effects: fingerprint job ids are location-independent,
+// so the fleet front door asks every worker's cache before routing a
+// fresh submission. 404 unless the job is done (including evicted
+// done jobs remembered by tombstone).
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.CachePeek(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCheckpointGet serves the raw checkpoint of a parked or
+// running-adjacent job — the donor half of the fleet's re-park
+// hand-off.
+func (s *Server) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
+	data, err := s.CheckpointData(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleCheckpointPut seeds a checkpoint for a job id before it is
+// (re)submitted here — the receiver half of the re-park hand-off.
+func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxCheckpointImport))
+	if err != nil {
+		writeError(w, fmt.Errorf("serve: read checkpoint body: %w", err), 0)
+		return
+	}
+	if err := s.ImportCheckpoint(r.PathValue("id"), data); err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "imported"})
 }
 
 // handleEvents streams a job's progress as NDJSON: the recorded
@@ -101,11 +161,16 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // identical event sequence.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.addStreamRef(id) {
-		writeError(w, ErrNotFound)
+	ok, pinned := s.addStreamRef(id)
+	if !ok {
+		writeError(w, ErrNotFound, 0)
 		return
 	}
-	defer s.releaseStreamRef(id)
+	// Only live jobs take an eviction pin; a stream admitted via a
+	// tombstone must not decrement a fresh same-id job's pin count.
+	if pinned {
+		defer s.releaseStreamRef(id)
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)

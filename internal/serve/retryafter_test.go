@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qaoa2/internal/faults"
+)
+
+// postSolve submits one request over raw HTTP so the test can inspect
+// the response headers the typed client normally absorbs.
+func postSolve(t *testing.T, base string, req SolveRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRetryAfterDerivedFromQueueState pins the back-pressure headers
+// against actual server state — the regression for the hard-coded
+// "Retry-After: 1" both 429 and 503 used to carry regardless of how
+// congested the server really was.
+func TestRetryAfterDerivedFromQueueState(t *testing.T) {
+	t.Run("draining counts down the grace", func(t *testing.T) {
+		s, err := New(Config{GlobalParallelism: 1, DrainGrace: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		hs := httptest.NewServer(s.Handler())
+		defer hs.Close()
+
+		s.Drain()
+		resp := postSolve(t, hs.URL, ringReq(8, 41))
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining submit → %d, want 503", resp.StatusCode)
+		}
+		// The drain just began, so the hint is (approximately) the whole
+		// configured grace — not the old constant 1.
+		if got := resp.Header.Get("Retry-After"); got != "10" {
+			t.Fatalf("draining Retry-After = %q, want %q (full 10s grace)", got, "10")
+		}
+	})
+
+	t.Run("queue full extrapolates from backlog", func(t *testing.T) {
+		g := setGate(t, 0, false)
+		s, err := New(Config{
+			GlobalParallelism: 1,
+			QueueLimit:        3,
+			Resolve:           gatedResolve,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		hs := httptest.NewServer(s.Handler())
+		defer hs.Close()
+
+		// One job running (parked at the gate), then fill the queue.
+		if _, err := s.Submit(ringReq(8, 50)); err != nil {
+			t.Fatal(err)
+		}
+		g.WaitBlocked(t, 1)
+		for i := uint64(51); i <= 53; i++ {
+			if _, err := s.Submit(ringReq(8, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		resp := postSolve(t, hs.URL, ringReq(8, 54))
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		// Open before asserting: a Fatalf below must not leave the
+		// deferred Close waiting on gated jobs.
+		g.Open()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overflow submit → %d, want 429", resp.StatusCode)
+		}
+		// 3 waiting jobs × 1s default average (nothing has completed
+		// yet) ÷ parallelism 1 → "3". The pre-fix constant was "1",
+		// which would have clients hammering a 3-deep backlog every
+		// second.
+		if got := resp.Header.Get("Retry-After"); got != "3" {
+			t.Fatalf("queue-full Retry-After = %q, want %q (3 waiting × 1s ÷ 1 slot)", got, "3")
+		}
+	})
+
+	t.Run("404 carries no hint", func(t *testing.T) {
+		s, err := New(Config{GlobalParallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		hs := httptest.NewServer(s.Handler())
+		defer hs.Close()
+		resp, err := http.Get(hs.URL + "/v1/jobs/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job → %d, want 404", resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "" {
+			t.Fatalf("404 grew a Retry-After header: %q", got)
+		}
+	})
+}
+
+// TestFollowHonorsRetryAfterHint pins the reconnect loop against the
+// server's back-pressure hint: when a stream (re)connect is rejected
+// with a Retry-After, Follow must wait at least that long instead of
+// its own (millisecond-scale) backoff curve. Policy.Do already
+// honored the hint for unary calls; pre-fix Follow did not.
+func TestFollowHonorsRetryAfterHint(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	inner := s.Handler()
+	var rejected atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") && rejected.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "serve: draining (HTTP 503)"})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	var slept []time.Duration
+	pol := fastRetry(6)
+	pol.Sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), Retry: pol}
+
+	st, err := c.Solve(context.Background(), ringReq(8, 77), nil)
+	if err != nil {
+		t.Fatalf("solve through 503s: %v", err)
+	}
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("terminal status %+v", st)
+	}
+	if len(slept) < 2 {
+		t.Fatalf("recorded %d sleeps, want ≥2 (one per rejected reconnect)", len(slept))
+	}
+	for i, d := range slept[:2] {
+		if d < 2*time.Second {
+			t.Fatalf("reconnect sleep %d was %v; the 2s Retry-After hint was ignored", i, d)
+		}
+	}
+}
+
+// TestFollowSurvivesTerminalEvictionRace pins the reconnect race the
+// retention bound used to lose: the stream is cut before the status
+// line, and in the gap before the client reconnects the (already
+// settled) job is retention-evicted. Pre-fix, the reconnect 404'd and
+// Follow surfaced a terminal error — the job's final status was lost
+// even though the solve succeeded. Post-fix, the eviction tombstone
+// still answers the reconnect with the terminal status line.
+func TestFollowSurvivesTerminalEvictionRace(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 1, RetainJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	st, err := s.Submit(ringReq(8, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitDone(t, s, st.ID)
+	if want.State != JobDone || want.Result == nil {
+		t.Fatalf("setup job %+v", want)
+	}
+
+	// Cut the FIRST events stream almost immediately (mid-NDJSON-line),
+	// then — synchronously, before the client can reconnect — settle a
+	// second job so the retention bound (RetainJobs=1) evicts the
+	// first.
+	in := faults.New(2).Site("cut", faults.Site{P: 1, Classes: []faults.Class{faults.Truncate}, TruncateAfter: 30})
+	inner := s.Handler()
+	mw := in.Middleware("cut", inner)
+	var first atomic.Bool
+	first.Store(true)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") && first.CompareAndSwap(true, false) {
+			defer func() {
+				if p := recover(); p != nil {
+					// The subscriber's connection just tore. Evict the
+					// settled job before the reconnect lands.
+					st2, err := s.Submit(ringReq(8, 601))
+					if err != nil {
+						t.Error(err)
+					} else {
+						ch, err := s.Done(st2.ID)
+						if err != nil {
+							t.Error(err)
+						} else {
+							<-ch
+						}
+					}
+					panic(p)
+				}
+			}()
+			mw.ServeHTTP(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), Retry: fastRetry(6)}
+	var got []Event
+	fin, err := c.Follow(context.Background(), st.ID, func(ev Event) { got = append(got, ev) })
+	if err != nil {
+		t.Fatalf("Follow across the eviction race: %v", err)
+	}
+	if fin.State != JobDone || fin.Result == nil {
+		t.Fatalf("final status %+v, want done with result", fin)
+	}
+	if fin.Result.Value != want.Result.Value || fin.Result.Spins != want.Result.Spins {
+		t.Fatalf("tombstone result %+v diverged from the settled result %+v", fin.Result, want.Result)
+	}
+	// Eviction reclaims the event history, so whatever prefix was
+	// delivered must still be duplicate-free and ordered.
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("event %d replayed out of order: %d after %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+	if in.Faults() == 0 {
+		t.Fatal("the stream was never cut; the race was not exercised")
+	}
+	// The reconnect must have been answered by the tombstone: the live
+	// job table no longer holds the first job.
+	for _, j := range s.Jobs() {
+		if j.ID == st.ID {
+			t.Fatal("first job was never evicted; the race was not exercised")
+		}
+	}
+}
+
+// TestFollowTerminalBoundaryCut pins the exact cut the issue names:
+// the connection dies after the last event line but before the status
+// line. The reconnect must replay the (deduplicated) events and
+// deliver the terminal status exactly once — no hang, no double
+// delivery.
+func TestFollowTerminalBoundaryCut(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	clean := httptest.NewServer(s.Handler())
+	defer clean.Close()
+
+	st, err := s.Submit(erReq(40, 8, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, st.ID)
+
+	// Measure the replay: the byte offset where the status line starts
+	// is exactly the terminal event boundary.
+	resp, err := http.Get(clean.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.Index(full, []byte(`{"status"`))
+	if cut <= 0 {
+		t.Fatalf("no status line in replay: %q", full)
+	}
+	var ref []Event
+	for _, line := range bytes.Split(full[:cut], []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var sl StreamLine
+		if err := json.Unmarshal(line, &sl); err != nil || sl.Event == nil {
+			t.Fatalf("bad replay line %q: %v", line, err)
+		}
+		ref = append(ref, *sl.Event)
+	}
+
+	// Cut the first follow attempt at precisely that boundary.
+	in := faults.New(4).Site("boundary", faults.Site{P: 1, Classes: []faults.Class{faults.Truncate}, TruncateAfter: cut})
+	inner := s.Handler()
+	mw := in.Middleware("boundary", inner)
+	var first atomic.Bool
+	first.Store(true)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") && first.CompareAndSwap(true, false) {
+			mw.ServeHTTP(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), Retry: fastRetry(6)}
+	var got []Event
+	fin, err := c.Follow(context.Background(), st.ID, func(ev Event) { got = append(got, ev) })
+	if err != nil {
+		t.Fatalf("Follow across the terminal-boundary cut: %v", err)
+	}
+	if fin.State != JobDone || fin.Result == nil {
+		t.Fatalf("final status %+v", fin)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("delivered %d events, want %d exactly once each", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i].Seq != ref[i].Seq || got[i].Task != ref[i].Task || got[i].Kind != ref[i].Kind {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], ref[i])
+		}
+	}
+	if in.Faults() == 0 {
+		t.Fatal("the boundary cut never fired")
+	}
+}

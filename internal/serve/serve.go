@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"qaoa2/internal/graph"
 	q2 "qaoa2/internal/qaoa2"
@@ -56,6 +57,11 @@ type Config struct {
 	// its queue — and completed results survive restarts as cache
 	// hits. Empty keeps everything in memory.
 	StateDir string
+	// DrainGrace is the expected drain-plus-restart turnaround; the
+	// Retry-After hint of 503 (draining) rejections counts down its
+	// remainder so clients come back when the restarted daemon should
+	// be up (default 5s; cmd/qaoa2d passes its -drain-grace).
+	DrainGrace time.Duration
 	// Resolve maps a request to concrete solvers (default
 	// ResolveSolvers; tests inject instrumented solvers). With the
 	// default, jobs run through qaoa2.Options.SolverSpec so the
@@ -89,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 512
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
 	}
 	if c.Resolve == nil {
 		c.Resolve = ResolveSolvers
@@ -200,6 +209,14 @@ type job struct {
 
 func (j *job) terminal() bool { return j.state == JobDone || j.state == JobFailed }
 
+// tombstone is the terminal snapshot a retention-evicted job leaves
+// behind. seq orders tombstones so the oldest is dropped first when
+// the tombstone table itself hits the retention bound.
+type tombstone struct {
+	status JobStatus
+	seq    int
+}
+
 // Server is the long-running solve service.
 type Server struct {
 	cfg Config
@@ -217,6 +234,18 @@ type Server struct {
 	// doneCount stamps job.doneSeq so eviction drops oldest-settled
 	// first.
 	doneCount int
+	// drainStart stamps the moment Drain began; the 503 Retry-After
+	// hint counts down the configured grace from it.
+	drainStart time.Time
+	// avgRunNanos is an EWMA of completed-job wall times; the 429
+	// Retry-After hint extrapolates queue-drain time from it.
+	avgRunNanos int64
+	// evicted holds terminal-status tombstones of retention-evicted
+	// jobs (bounded by RetainJobs, oldest dropped): a stream subscriber
+	// whose connection was cut just before the status line can still
+	// reconnect and receive the job's final status even if the settled
+	// job was evicted in the gap, and cache peeks keep answering.
+	evicted map[string]tombstone
 
 	// persistKick marks the job table dirty for the persister
 	// goroutine (buffered 1: bursts coalesce); persistStop ends it.
@@ -238,6 +267,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg.withDefaults(),
 		jobs:        make(map[string]*job),
+		evicted:     make(map[string]tombstone),
 		drainCh:     make(chan struct{}),
 		persistKick: make(chan struct{}, 1),
 		persistStop: make(chan struct{}),
@@ -334,6 +364,9 @@ func (s *Server) Submit(req SolveRequest) (JobStatus, error) {
 		wake:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	// A fresh job supersedes any tombstone left by an evicted
+	// predecessor with the same identity.
+	delete(s.evicted, id)
 	s.jobs[id] = j
 	s.enqueueLocked(j)
 	return s.statusLocked(j), nil
@@ -370,15 +403,40 @@ func (s *Server) enqueueLocked(j *job) {
 	s.cond.Broadcast()
 }
 
-// Job returns the status snapshot of one job.
+// Job returns the status snapshot of one job. A retention-evicted
+// job still answers with its terminal tombstone status.
 func (s *Server) Job(id string) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		if t, ok := s.evicted[id]; ok {
+			return t.status, nil
+		}
 		return JobStatus{}, ErrNotFound
 	}
 	return s.statusLocked(j), nil
+}
+
+// CachePeek reports a completed job's status without admitting,
+// coalescing, or re-running anything — the fleet front door asks
+// workers this before routing a fresh submission, so a result cached
+// anywhere in the fleet is served without a solve. Evicted jobs
+// answer from their tombstones.
+func (s *Server) CachePeek(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.state == JobDone {
+		st := s.statusLocked(j)
+		st.Cached = true
+		return st, true
+	}
+	if t, ok := s.evicted[id]; ok && t.status.State == JobDone {
+		st := t.status
+		st.Cached = true
+		return st, true
+	}
+	return JobStatus{}, false
 }
 
 // Jobs lists every known job (queued, running, done, failed).
@@ -428,6 +486,7 @@ func (s *Server) Drain() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
+		s.drainStart = time.Now()
 		close(s.drainCh)
 		s.cond.Broadcast()
 		// Jobs that will never start this generation are settled the
@@ -536,10 +595,77 @@ func (s *Server) checkpointPath(j *job) string {
 	return filepath.Join(s.cfg.StateDir, j.id+".ckpt")
 }
 
+// CheckpointData returns the raw serialized checkpoint of a known
+// job — the fleet coordinator fetches this from a draining worker to
+// hand the job's completed sub-solves to its replacement, so the
+// re-routed job resumes instead of recomputing. ErrNotFound when the
+// job is unknown, the server keeps no state dir, or no checkpoint has
+// been written yet.
+func (s *Server) CheckpointData(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var path string
+	if ok {
+		path = s.checkpointPath(j)
+	}
+	s.mu.Unlock()
+	if !ok || path == "" {
+		return nil, ErrNotFound
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// ImportCheckpoint seeds the on-disk checkpoint a future (or queued)
+// job with this id will resume from — the receiving half of the
+// fleet's re-park hand-off. The import is best-effort by design: the
+// runtime re-validates the header on open and falls back to a full
+// recompute on any mismatch, so a stale or foreign checkpoint can
+// cost time but never correctness. Rejected while the job is already
+// running (its checkpoint file is live) or when the server keeps no
+// state.
+func (s *Server) ImportCheckpoint(id string, data []byte) error {
+	if s.cfg.StateDir == "" {
+		return fmt.Errorf("serve: no state dir to import a checkpoint into")
+	}
+	h, err := rt.SniffHeader(data)
+	if err != nil {
+		return fmt.Errorf("serve: import checkpoint %s: %w", id, err)
+	}
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		if j.state == JobRunning {
+			s.mu.Unlock()
+			return fmt.Errorf("serve: job %s is running; checkpoint import refused", id)
+		}
+		// The job is known: its graph fingerprint and seed must agree
+		// with the donated checkpoint's header, or the donor is handing
+		// us a different solve's state.
+		if h.Graph != j.fp || h.Seed != j.req.Seed {
+			s.mu.Unlock()
+			return fmt.Errorf("serve: checkpoint header does not match job %s", id)
+		}
+	}
+	path := filepath.Join(s.cfg.StateDir, id+".ckpt")
+	s.mu.Unlock()
+	tmp := path + ".import"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("serve: import checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: import checkpoint: %w", err)
+	}
+	return nil
+}
+
 // runJob executes one job through the task-graph runtime and settles
 // its terminal (or parked) state.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
+	start := time.Now()
 	opts := q2.Options{
 		MaxQubits:      j.req.MaxQubits,
 		Parallelism:    j.parallelism,
@@ -583,10 +709,12 @@ func (s *Server) runJob(j *job) {
 	case err != nil:
 		j.state = JobFailed
 		j.err = err
+		s.observeRunLocked(time.Since(start))
 		s.settleLocked(j)
 	default:
 		j.state = JobDone
 		j.result = resultOf(res)
+		s.observeRunLocked(time.Since(start))
 		s.settleLocked(j)
 	}
 	s.bumpLocked(j)
@@ -629,24 +757,95 @@ func (s *Server) evictLocked() {
 	}
 	sort.Slice(evictable, func(a, b int) bool { return evictable[a].doneSeq < evictable[b].doneSeq })
 	for _, j := range evictable[:excess] {
+		// Leave a terminal-status tombstone: a subscriber whose stream
+		// was cut right before the status line can reconnect after this
+		// eviction and still receive the final status (events are gone —
+		// only the heavy part of the record is reclaimed).
+		s.evicted[j.id] = tombstone{status: s.statusLocked(j), seq: j.doneSeq}
 		delete(s.jobs, j.id)
 		if path := s.checkpointPath(j); path != "" {
 			os.Remove(path)
 		}
 	}
+	for len(s.evicted) > s.cfg.RetainJobs {
+		oldestID, oldest := "", 0
+		for id, t := range s.evicted {
+			if oldestID == "" || t.seq < oldest {
+				oldestID, oldest = id, t.seq
+			}
+		}
+		delete(s.evicted, oldestID)
+	}
+}
+
+// observeRunLocked folds one completed job's wall time into the
+// average the 429 Retry-After hint extrapolates from. Caller holds mu.
+func (s *Server) observeRunLocked(d time.Duration) {
+	if s.avgRunNanos == 0 {
+		s.avgRunNanos = d.Nanoseconds()
+		return
+	}
+	s.avgRunNanos = (3*s.avgRunNanos + d.Nanoseconds()) / 4
+}
+
+// maxRetryAfterSeconds caps the back-pressure hint so a pathological
+// estimate never parks clients for minutes.
+const maxRetryAfterSeconds = 60
+
+// retryAfterHint derives the Retry-After value (whole seconds) of a
+// 429/503 rejection from the server's actual state instead of a
+// constant: a draining server counts down its drain grace (come back
+// when the restarted daemon should be up), and a full queue
+// extrapolates from the queue depth and the observed average job
+// runtime (come back when the backlog should have drained). Returns 0
+// for errors that carry no back-pressure hint.
+func (s *Server) retryAfterHint(err error) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case errors.Is(err, ErrDraining):
+		return hintSeconds(s.cfg.DrainGrace - time.Since(s.drainStart))
+	case errors.Is(err, ErrQueueFull):
+		avg := time.Duration(s.avgRunNanos)
+		if avg <= 0 {
+			avg = time.Second // no completion observed yet
+		}
+		// The whole waiting backlog must start before a queue slot is
+		// reliably free again; GlobalParallelism jobs drain concurrently
+		// in the best (all budget-1) case.
+		return hintSeconds(time.Duration(s.waiting()) * avg / time.Duration(s.cfg.GlobalParallelism))
+	}
+	return 0
+}
+
+// hintSeconds rounds a wait up to whole seconds, clamped into
+// [1, maxRetryAfterSeconds].
+func hintSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
 }
 
 // addStreamRef pins a job against eviction while a stream is
-// attached; it reports whether the job exists.
-func (s *Server) addStreamRef(id string) bool {
+// attached; ok reports whether the job exists and pinned whether a
+// pin was actually taken. A tombstoned job admits the stream without
+// a pin: there is nothing left to evict, and the stream settles
+// immediately from the tombstone status.
+func (s *Server) addStreamRef(id string) (ok, pinned bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return false
+	j, live := s.jobs[id]
+	if !live {
+		_, evicted := s.evicted[id]
+		return evicted, false
 	}
 	j.subs++
-	return true
+	return true, true
 }
 
 // releaseStreamRef unpins a job when its stream closes.
@@ -718,6 +917,13 @@ func (s *Server) eventsFrom(id string, from int) (evs []Event, wake <-chan struc
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		if t, ok := s.evicted[id]; ok {
+			// The job settled and was retention-evicted — typically in
+			// the gap between a subscriber's stream cut and its
+			// reconnect. The event log is gone, but the terminal status
+			// still settles the stream instead of stranding it on a 404.
+			return nil, nil, t.status, true, nil
+		}
 		return nil, nil, JobStatus{}, false, ErrNotFound
 	}
 	if from < len(j.events) {

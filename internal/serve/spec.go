@@ -123,6 +123,23 @@ func (r SolveRequest) key(graphFP string) string {
 	}.Fingerprint()
 }
 
+// JobKey computes the fingerprint job id any server will assign this
+// request: normalize, build the graph, fingerprint the checkpoint
+// header. Fingerprints are location-independent, so the fleet front
+// door routes on the id computed here knowing it equals the id every
+// worker's result cache and checkpoint file use.
+func (r SolveRequest) JobKey() (string, error) {
+	n, err := r.normalize()
+	if err != nil {
+		return "", err
+	}
+	g, err := n.Graph.Build()
+	if err != nil {
+		return "", err
+	}
+	return n.key(rt.GraphFingerprint(g)), nil
+}
+
 // Solvers binds a request to the concrete sub-graph and merge-graph
 // solvers the runtime will run.
 type Solvers struct {

@@ -27,6 +27,7 @@ package qaoa2
 import (
 	"qaoa2/internal/backend"
 	"qaoa2/internal/faults"
+	"qaoa2/internal/fleet"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/gw"
 	"qaoa2/internal/hpc"
@@ -348,6 +349,46 @@ func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cf
 
 // GraphSpecOf converts a graph into its submission wire form.
 func GraphSpecOf(g *Graph) GraphSpec { return serve.GraphSpecOf(g) }
+
+// Multi-node solve fleet (see DESIGN.md "Fleet"). A coordinator
+// routes submissions to qaoa2d workers on a consistent-hash ring
+// keyed by result fingerprint, sweeps every worker's result cache
+// before solving, health-checks workers through circuit breakers, and
+// re-parks jobs off dead or draining workers — safe at any point
+// because the runtime recomputes bit-identically from any checkpoint
+// prefix. The front door (FleetCoordinator.Handler, or qaoa2d -front)
+// speaks the exact qaoa2d wire surface, so ServeClient and
+// RemoteSolver target it by URL alone.
+type (
+	// FleetConfig configures NewFleetCoordinator.
+	FleetConfig = fleet.Config
+	// FleetCoordinator is the routing front door over the workers.
+	FleetCoordinator = fleet.Coordinator
+	// FleetWorkerSpec names one worker and its base URL.
+	FleetWorkerSpec = fleet.WorkerSpec
+	// FleetWorkerStatus is one worker's health snapshot.
+	FleetWorkerStatus = fleet.WorkerStatus
+	// FleetWorkerState is a worker's health state.
+	FleetWorkerState = fleet.WorkerState
+	// FleetStats counts routing decisions, cache hits, failovers and
+	// checkpoint re-parks.
+	FleetStats = fleet.Stats
+)
+
+// Fleet worker health states.
+const (
+	// FleetWorkerHealthy workers accept routed jobs.
+	FleetWorkerHealthy = fleet.WorkerHealthy
+	// FleetWorkerDraining workers finish parked state but take no new
+	// jobs; their checkpoints are salvageable over HTTP.
+	FleetWorkerDraining = fleet.WorkerDraining
+	// FleetWorkerDead workers answer nothing; their jobs re-route.
+	FleetWorkerDead = fleet.WorkerDead
+)
+
+// NewFleetCoordinator starts a fleet coordinator (health loop
+// included) over the configured workers.
+func NewFleetCoordinator(cfg FleetConfig) (*FleetCoordinator, error) { return fleet.New(cfg) }
 
 // Fault-tolerant dispatch (retry/backoff/breaker under deterministic
 // fault injection; see DESIGN.md "Fault tolerance"). RetryPolicy

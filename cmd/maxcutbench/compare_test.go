@@ -200,3 +200,19 @@ func TestRatioGate(t *testing.T) {
 		t.Fatal("missing fused-full/dense configs passed the ratio gate")
 	}
 }
+
+// TestCountMissing: only comparisons with no fresh measurement
+// (freshNs < 0) count as missing.
+func TestCountMissing(t *testing.T) {
+	comps := []comparison{
+		{key: "a", freshNs: -1},
+		{key: "b", freshNs: 10},
+		{key: "c", freshNs: -1},
+	}
+	if got := countMissing(comps); got != 2 {
+		t.Fatalf("countMissing = %d, want 2", got)
+	}
+	if got := countMissing(nil); got != 0 {
+		t.Fatalf("countMissing(nil) = %d, want 0", got)
+	}
+}

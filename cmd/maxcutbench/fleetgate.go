@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The fleet regression gate: `maxcutbench -fleet fleet.json` consumes
+// the bench record cmd/fleetload writes (schema qaoa2-fleetload/v1)
+// and turns the soak into a CI verdict — zero divergence from the
+// single-daemon reference, real failover activity on kill soaks, and
+// (with -fleet-baseline) bounded p90 latency growth. The same binary
+// gates kernel ns/op (-compare) and fleet behavior, so CI has one
+// regression front door.
+
+// fleetReport mirrors cmd/fleetload's bench JSON schema.
+type fleetReport struct {
+	Schema     string  `json:"schema"`
+	Workers    int     `json:"workers"`
+	Jobs       int     `json:"jobs"`
+	Killed     bool    `json:"killed"`
+	Seed       uint64  `json:"seed"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	WallMs     float64 `json:"wall_ms"`
+	Failovers  int     `json:"failovers"`
+	Reparks    int     `json:"reparks"`
+	CacheHits  int     `json:"cache_hits"`
+	Verified   bool    `json:"verified"`
+	Mismatches int     `json:"mismatches"`
+}
+
+// fleetSchema is the record version this gate understands.
+const fleetSchema = "qaoa2-fleetload/v1"
+
+// loadFleetReport reads and validates one fleetload record.
+func loadFleetReport(path string) (fleetReport, error) {
+	var rep fleetReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("fleet record: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("fleet record %s: %w", path, err)
+	}
+	if rep.Schema != fleetSchema {
+		return rep, fmt.Errorf("fleet record %s: schema %q, want %q", path, rep.Schema, fleetSchema)
+	}
+	if rep.Jobs <= 0 || rep.Workers <= 0 {
+		return rep, fmt.Errorf("fleet record %s: empty soak (%d workers, %d jobs)", path, rep.Workers, rep.Jobs)
+	}
+	return rep, nil
+}
+
+// fleetGate evaluates one soak record, optionally against a baseline
+// record's latency. Correctness legs are machine-independent and fail
+// hard; the latency leg only arms when a baseline is provided, with a
+// deliberately generous default tolerance because fleet p90 measures
+// scheduling noise on shared CI runners, not kernels.
+func fleetGate(fresh fleetReport, baseline *fleetReport, tolerancePct float64) (ok bool, msg string) {
+	if tolerancePct <= 0 {
+		return false, fmt.Sprintf("fleet gate: tolerance must be positive, got %g%%", tolerancePct)
+	}
+	if fresh.Verified && fresh.Mismatches > 0 {
+		return false, fmt.Sprintf("fleet gate FAILED: %d of %d jobs diverged from the single-daemon reference — routed results must be bit-identical", fresh.Mismatches, fresh.Jobs)
+	}
+	if fresh.Killed && fresh.Failovers == 0 && fresh.Reparks == 0 {
+		return false, "fleet gate FAILED: a worker was killed mid-soak but the coordinator recorded no failovers or re-parks — the kill leg did not exercise recovery"
+	}
+	verdict := fmt.Sprintf("fleet gate: %d jobs over %d workers, p50 %.0fms p90 %.0fms p99 %.0fms, %d failovers, %d re-parks, %d cache hits",
+		fresh.Jobs, fresh.Workers, fresh.P50Ms, fresh.P90Ms, fresh.P99Ms, fresh.Failovers, fresh.Reparks, fresh.CacheHits)
+	if !fresh.Verified {
+		verdict += " (WARNING: soak ran without reference verification)"
+	}
+	if baseline != nil {
+		if baseline.P90Ms <= 0 {
+			return false, "fleet gate: baseline record has no p90 latency"
+		}
+		delta := (fresh.P90Ms - baseline.P90Ms) / baseline.P90Ms * 100
+		if fresh.Jobs != baseline.Jobs || fresh.Workers != baseline.Workers || fresh.Killed != baseline.Killed {
+			verdict += fmt.Sprintf("; latency leg ADVISORY: baseline soak shape differs (%d jobs / %d workers / killed=%v), p90 delta %+.0f%% not gated",
+				baseline.Jobs, baseline.Workers, baseline.Killed, delta)
+			return true, verdict
+		}
+		if delta > tolerancePct {
+			return false, fmt.Sprintf("fleet gate FAILED: p90 latency %.0fms is %+.0f%% over the baseline's %.0fms (tolerance %.0f%%)",
+				fresh.P90Ms, delta, baseline.P90Ms, tolerancePct)
+		}
+		verdict += fmt.Sprintf("; p90 %+.0f%% vs baseline (tolerance %.0f%%)", delta, tolerancePct)
+	}
+	return true, verdict
+}

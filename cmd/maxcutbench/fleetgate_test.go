@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// healthySoak is a passing kill-soak record.
+func healthySoak() fleetReport {
+	return fleetReport{
+		Schema: fleetSchema, Workers: 3, Jobs: 120, Killed: true, Seed: 1,
+		P50Ms: 40, P90Ms: 90, P99Ms: 150, WallMs: 2000,
+		Failovers: 2, Reparks: 1, CacheHits: 5, Verified: true,
+	}
+}
+
+func TestFleetGateVerdicts(t *testing.T) {
+	if ok, msg := fleetGate(healthySoak(), nil, 100); !ok {
+		t.Fatalf("healthy soak failed: %s", msg)
+	}
+
+	diverged := healthySoak()
+	diverged.Mismatches = 3
+	if ok, msg := fleetGate(diverged, nil, 100); ok || !strings.Contains(msg, "diverged") {
+		t.Fatalf("divergence passed: %s", msg)
+	}
+
+	deadKill := healthySoak()
+	deadKill.Failovers, deadKill.Reparks = 0, 0
+	if ok, msg := fleetGate(deadKill, nil, 100); ok || !strings.Contains(msg, "recovery") {
+		t.Fatalf("dead kill leg passed: %s", msg)
+	}
+
+	// A steady-state soak (no kill) needs no failovers.
+	steady := healthySoak()
+	steady.Killed, steady.Failovers, steady.Reparks = false, 0, 0
+	if ok, msg := fleetGate(steady, nil, 100); !ok {
+		t.Fatalf("steady-state soak failed: %s", msg)
+	}
+
+	// Unverified soaks warn but do not fail (the correctness leg was
+	// turned off deliberately).
+	unverified := healthySoak()
+	unverified.Verified = false
+	unverified.Mismatches = 0
+	if ok, msg := fleetGate(unverified, nil, 100); !ok || !strings.Contains(msg, "WARNING") {
+		t.Fatalf("unverified soak: ok=%v %s", ok, msg)
+	}
+
+	if ok, _ := fleetGate(healthySoak(), nil, 0); ok {
+		t.Fatal("non-positive tolerance accepted")
+	}
+}
+
+func TestFleetGateLatencyLeg(t *testing.T) {
+	base := healthySoak()
+
+	same := healthySoak()
+	same.P90Ms = 170 // +89% under the 100% default
+	if ok, msg := fleetGate(same, &base, 100); !ok {
+		t.Fatalf("in-tolerance latency failed: %s", msg)
+	}
+
+	slow := healthySoak()
+	slow.P90Ms = 200 // +122%
+	if ok, msg := fleetGate(slow, &base, 100); ok || !strings.Contains(msg, "p90") {
+		t.Fatalf("latency regression passed: %s", msg)
+	}
+
+	// A baseline from a different soak shape cannot gate latency —
+	// advisory, never a failure.
+	shape := healthySoak()
+	shape.Jobs = 500
+	shape.P90Ms = 500
+	if ok, msg := fleetGate(shape, &base, 100); !ok || !strings.Contains(msg, "ADVISORY") {
+		t.Fatalf("shape mismatch: ok=%v %s", ok, msg)
+	}
+
+	noP90 := base
+	noP90.P90Ms = 0
+	if ok, _ := fleetGate(healthySoak(), &noP90, 100); ok {
+		t.Fatal("baseline without p90 accepted")
+	}
+}
+
+func TestLoadFleetReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(good, []byte(`{"schema":"qaoa2-fleetload/v1","workers":3,"jobs":120,"killed":true,"seed":1,"p50_ms":40,"p90_ms":90,"p99_ms":150,"wall_ms":2000,"failovers":2,"reparks":1,"cache_hits":5,"verified":true,"mismatches":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadFleetReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 120 || !rep.Verified || rep.P90Ms != 90 {
+		t.Fatalf("parsed %+v", rep)
+	}
+
+	for name, body := range map[string]string{
+		"wrong schema": `{"schema":"qaoa2-bench/v1","workers":3,"jobs":120}`,
+		"empty soak":   `{"schema":"qaoa2-fleetload/v1","workers":0,"jobs":0}`,
+		"garbage":      `{nope`,
+	} {
+		path := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadFleetReport(path); err == nil {
+			t.Errorf("%s: accepted %q", name, body)
+		}
+	}
+	if _, err := loadFleetReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunInstanceFixture drives the -instance path end to end on an
+// embedded fixture: catalog lookup, embedded load, QAOA² solve, and
+// the report against the pinned optimum.
+func TestRunInstanceFixture(t *testing.T) {
+	var sb strings.Builder
+	if err := runInstance(&sb, "petersen", "", "exact", "exact", 16, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"petersen", "cut         12", "optimum     12", "ratio       1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunInstanceErrors: unknown names list the catalog; a missing
+// Gset file points at the download recipe.
+func TestRunInstanceErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := runInstance(&sb, "nope", "", "exact", "exact", 16, 1, 1); err == nil ||
+		!strings.Contains(err.Error(), "petersen") {
+		t.Fatalf("unknown instance error unhelpful: %v", err)
+	}
+	if err := runInstance(&sb, "g14", t.TempDir(), "exact", "exact", 16, 1, 1); err == nil ||
+		!strings.Contains(err.Error(), "download") {
+		t.Fatalf("missing Gset file error unhelpful: %v", err)
+	}
+}

@@ -15,12 +15,23 @@
 //	                       # A/B: benchmark exactly these backends (16q p=3)
 //	maxcutbench -backend fused-z2,fused-full -qubits 20
 //	                       # same A/B at the 20-qubit scale point
+//	maxcutbench -instance petersen
+//	                       # solve an embedded benchmark fixture
+//	maxcutbench -instance g14 -gset-dir ~/gset
+//	                       # solve a downloaded Gset instance and report
+//	                       # the cut against the best-known value
+//	maxcutbench -fleet fleet.json
+//	                       # CI gate over a cmd/fleetload soak record:
+//	                       # exit 1 on divergence or dead failover legs
+//	maxcutbench -fleet fleet.json -fleet-baseline fleet_base.json
+//	                       # additionally bound p90 latency growth
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"qaoa2/internal/experiments"
@@ -36,10 +47,47 @@ func main() {
 		compare   = flag.String("compare", "", "baseline BENCH_*.json to gate against (implies -json); exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 20, "allowed ns/op slowdown in percent for -compare")
 		backends  = flag.String("backend", "", "comma-separated backend names (e.g. fused-z2,fused-full,dense) to benchmark as a reproducible A/B subset (implies -json); incompatible with -compare")
-		qubits    = flag.Int("qubits", 16, "sub-graph qubit count for the -backend A/B shape")
-		layers    = flag.Int("layers", 3, "ansatz depth p for the -backend A/B shape")
+		qubits    = flag.Int("qubits", 16, "sub-graph qubit count (-backend A/B shape, -instance device budget)")
+		layers    = flag.Int("layers", 3, "ansatz depth p (-backend A/B shape, -instance qaoa solvers)")
+		instance  = flag.String("instance", "", "solve a cataloged benchmark instance (a Gset name like g14, or an embedded fixture like petersen) and report the cut against its best-known value")
+		gsetDir   = flag.String("gset-dir", ".", "directory holding downloaded Gset files for -instance (embedded fixtures need none)")
+		subSolver = flag.String("solver", "best", "sub-graph solver registry name for -instance")
+		mergeName = flag.String("merge", "gw", "merge solver registry name for -instance")
+		fleetPath = flag.String("fleet", "", "gate a cmd/fleetload bench record (qaoa2-fleetload/v1): bit-identity with the reference, failover activity on kill soaks, and bounded latency vs -fleet-baseline")
+		fleetBase = flag.String("fleet-baseline", "", "baseline fleetload record for the latency leg of -fleet")
+		fleetTol  = flag.Float64("fleet-tolerance", 100, "allowed p90 latency growth in percent for -fleet-baseline")
 	)
 	flag.Parse()
+
+	if *fleetPath != "" {
+		fresh, err := loadFleetReport(*fleetPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var baseline *fleetReport
+		if *fleetBase != "" {
+			b, err := loadFleetReport(*fleetBase)
+			if err != nil {
+				log.Fatal(err)
+			}
+			baseline = &b
+		}
+		ok, msg := fleetGate(fresh, baseline, *fleetTol)
+		if !ok {
+			log.Fatal(msg)
+		}
+		fmt.Println(msg)
+		if !*jsonOut && *compare == "" && *backends == "" && *instance == "" {
+			return
+		}
+	}
+
+	if *instance != "" {
+		if err := runInstance(os.Stdout, *instance, *gsetDir, *subSolver, *mergeName, *qubits, *layers, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *backends != "" {
 		if *compare != "" {

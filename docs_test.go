@@ -1,0 +1,61 @@
+// The documentation gate: every Go package in the module must carry a
+// package comment. Running inside `go test ./...` makes the gate
+// self-enforcing in CI — a PR that lands an undocumented package fails
+// here with the exact directory named.
+package qaoa2_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasGodoc walks the module tree and fails for any
+// package (commands and internal packages alike) whose files all lack
+// a package doc comment. Test-only packages (_test) are exempt: godoc
+// does not render them.
+func TestEveryPackageHasGodoc(t *testing.T) {
+	var missing []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		switch d.Name() {
+		case ".git", ".github", "testdata":
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return err
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				missing = append(missing, path+" (package "+name+")")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("packages without a package doc comment:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestConfigConstructors pins the shape relations between the
+// laptop-scale defaults and their paper-scale variants: full configs
+// must strictly dominate the defaults in scale, and every config must
+// be runnable (non-empty sweeps, a usable seed).
+func TestConfigConstructors(t *testing.T) {
+	d3, f3 := DefaultFig3Config(), FullFig3Config()
+	if len(d3.NodeCounts) == 0 || len(d3.EdgeProbs) == 0 || len(d3.Layers) == 0 {
+		t.Fatalf("default Fig3 config empty: %+v", d3)
+	}
+	if f3.NodeCounts[len(f3.NodeCounts)-1] <= d3.NodeCounts[len(d3.NodeCounts)-1] {
+		t.Fatal("full Fig3 grid does not exceed the default scale")
+	}
+
+	d4, f4 := DefaultFig4Config(), FullFig4Config()
+	if len(d4.NodeCounts) == 0 || d4.MaxQubits <= 0 {
+		t.Fatalf("default Fig4 config empty: %+v", d4)
+	}
+	if f4.MaxQubits <= d4.MaxQubits ||
+		f4.NodeCounts[len(f4.NodeCounts)-1] <= d4.NodeCounts[len(d4.NodeCounts)-1] {
+		t.Fatal("full Fig4 config does not exceed the default scale")
+	}
+
+	dt, ft := DefaultTable1Config(), FullTable1Config()
+	if len(dt.NodeCounts) == 0 || dt.Shots <= 0 {
+		t.Fatalf("default Table1 config empty: %+v", dt)
+	}
+	if ft.NodeCounts[0] <= dt.NodeCounts[len(dt.NodeCounts)-1] {
+		t.Fatal("full Table1 qubit counts overlap the default's")
+	}
+
+	d2 := DefaultFig2Config()
+	if d2.Nodes <= 0 || len(d2.Workers) == 0 || d2.MaxQubits <= 0 {
+		t.Fatalf("default Fig2 config empty: %+v", d2)
+	}
+}

@@ -307,3 +307,31 @@ func TestCutValuePanicsOnBadLength(t *testing.T) {
 	}()
 	Complete(3).CutValue([]int8{1, 1})
 }
+
+// TestAccessors covers the log/linalg helper surface: weighted
+// degrees, the dense adjacency matrix, and the String summary.
+func TestAccessors(t *testing.T) {
+	g := New(3)
+	MustAdd := g.MustAddEdge
+	MustAdd(0, 1, 2)
+	MustAdd(1, 2, 0.5)
+	if d := g.WeightedDegree(1); math.Abs(d-2.5) > 1e-15 {
+		t.Fatalf("WeightedDegree(1) = %g, want 2.5", d)
+	}
+	if d := g.WeightedDegree(2); math.Abs(d-0.5) > 1e-15 {
+		t.Fatalf("WeightedDegree(2) = %g, want 0.5", d)
+	}
+	a := g.AdjacencyMatrix()
+	if v := a.At(0, 1); v != 2 {
+		t.Fatalf("A[0,1] = %g, want 2", v)
+	}
+	if v := a.At(1, 0); v != 2 {
+		t.Fatalf("A[1,0] = %g, want 2 (symmetric)", v)
+	}
+	if v := a.At(0, 2); v != 0 {
+		t.Fatalf("A[0,2] = %g, want 0", v)
+	}
+	if s := g.String(); s != "graph{n=3 m=2 w=2.500}" {
+		t.Fatalf("String() = %q", s)
+	}
+}

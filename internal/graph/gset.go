@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadGset parses the Gset benchmark format (Ye's MaxCut collection,
+// the instances G1..G81 used across the MaxCut literature):
+//
+//	n m
+//	i j w        (one line per edge, 1-based endpoints, integer weight)
+//
+// It is the 1-based sibling of Read; blank lines and '#' or 'c'
+// comment lines are ignored. The declared edge count must match.
+func ReadGset(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	edgesWanted := -1
+	edgesSeen := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "c ") || line == "c" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: gset line %d: want header \"n m\", got %q", lineNo, line)
+			}
+			n, err1 := strconv.Atoi(fields[0])
+			m, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: gset line %d: bad header %q", lineNo, line)
+			}
+			g = New(n)
+			edgesWanted = m
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: gset line %d: want \"i j w\", got %q", lineNo, line)
+		}
+		i, j, w, err := edgeFields(fields[0], fields[1], fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("graph: gset line %d: %v", lineNo, err)
+		}
+		if i < 1 || j < 1 {
+			return nil, fmt.Errorf("graph: gset line %d: endpoints are 1-based, got (%d,%d)", lineNo, i, j)
+		}
+		if err := g.AddEdge(i-1, j-1, w); err != nil {
+			return nil, fmt.Errorf("graph: gset line %d: %v", lineNo, err)
+		}
+		edgesSeen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty gset input")
+	}
+	if edgesSeen != edgesWanted {
+		return nil, fmt.Errorf("graph: gset header declares %d edges, found %d", edgesWanted, edgesSeen)
+	}
+	return g, nil
+}
+
+// ReadDIMACS parses the DIMACS edge format:
+//
+//	c <comment>
+//	p edge n m
+//	e i j [w]    (1-based endpoints; weight defaults to 1)
+//
+// The declared edge count must match the 'e' lines seen.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	edgesWanted := -1
+	edgesSeen := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 || fields[1] != "edge" {
+				return nil, fmt.Errorf("graph: dimacs line %d: want \"p edge n m\", got %q", lineNo, line)
+			}
+			n, err1 := strconv.Atoi(fields[2])
+			m, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: dimacs line %d: bad problem line %q", lineNo, line)
+			}
+			g = New(n)
+			edgesWanted = m
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: edge before the problem line", lineNo)
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("graph: dimacs line %d: want \"e i j [w]\", got %q", lineNo, line)
+			}
+			wField := "1"
+			if len(fields) == 4 {
+				wField = fields[3]
+			}
+			i, j, w, err := edgeFields(fields[1], fields[2], wField)
+			if err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", lineNo, err)
+			}
+			if i < 1 || j < 1 {
+				return nil, fmt.Errorf("graph: dimacs line %d: endpoints are 1-based, got (%d,%d)", lineNo, i, j)
+			}
+			if err := g.AddEdge(i-1, j-1, w); err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", lineNo, err)
+			}
+			edgesSeen++
+		default:
+			return nil, fmt.Errorf("graph: dimacs line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: dimacs input has no problem line")
+	}
+	if edgesSeen != edgesWanted {
+		return nil, fmt.Errorf("graph: dimacs problem line declares %d edges, found %d", edgesWanted, edgesSeen)
+	}
+	return g, nil
+}
+
+// edgeFields parses one "i j w" edge triple.
+func edgeFields(si, sj, sw string) (int, int, float64, error) {
+	i, err := strconv.Atoi(si)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad endpoint: %v", err)
+	}
+	j, err := strconv.Atoi(sj)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad endpoint: %v", err)
+	}
+	w, err := strconv.ParseFloat(sw, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad weight: %v", err)
+	}
+	return i, j, w, nil
+}

@@ -1,0 +1,122 @@
+// Package instances catalogs MaxCut benchmark instances: the standard
+// Gset collection (G1..G81, with published best-known cut values from
+// the heuristics literature) and small embedded Gset-format fixtures
+// whose optima are pinned exactly by brute force in this repo's tests.
+//
+// Gset files are large and are NOT embedded — Load reads them from a
+// local directory (see EXPERIMENTS.md for the download recipe) and
+// cross-checks the node/edge counts against the catalog so a truncated
+// download never silently benchmarks the wrong graph. Fixtures load
+// from the binary itself and need no directory.
+package instances
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qaoa2/internal/graph"
+)
+
+//go:embed fixtures/*.gset
+var fixturesFS embed.FS
+
+// Instance is one catalog entry.
+type Instance struct {
+	// Name is the canonical instance name ("G14", "petersen").
+	Name string
+	// Nodes and Edges are the expected graph dimensions; Load verifies
+	// the parsed file against them.
+	Nodes, Edges int
+	// BestKnown is the best published cut value (Gset: the literature's
+	// best-known heuristic results; fixtures: the exact brute-force
+	// optimum, re-verified by this package's tests).
+	BestKnown float64
+	// Exact marks BestKnown as a proven optimum (all fixtures; open
+	// for the large Gset instances, where best-known is a lower bound).
+	Exact bool
+	// Weights describes the weight structure ("unit" or "+/-1").
+	Weights string
+	// File is the embedded fixture path; empty for Gset instances,
+	// which Load reads from the caller's directory.
+	File string
+}
+
+// Embedded reports whether the instance loads from the binary itself.
+func (in Instance) Embedded() bool { return in.File != "" }
+
+// catalog lists the supported instances. Gset best-known values follow
+// the established heuristics literature (breakout local search et al.);
+// fixture values are exact optima pinned by TestFixtureOptima.
+var catalog = []Instance{
+	// Embedded fixtures: small, honest stand-ins with proven optima.
+	{Name: "petersen", Nodes: 10, Edges: 15, BestKnown: 12, Exact: true,
+		Weights: "unit", File: "fixtures/petersen.gset"},
+	{Name: "torus4x4pm", Nodes: 16, Edges: 32, BestKnown: 16, Exact: true,
+		Weights: "+/-1", File: "fixtures/torus4x4pm.gset"},
+	// Gset (download required; filenames match the names below).
+	{Name: "G1", Nodes: 800, Edges: 19176, BestKnown: 11624, Weights: "unit"},
+	{Name: "G2", Nodes: 800, Edges: 19176, BestKnown: 11620, Weights: "unit"},
+	{Name: "G3", Nodes: 800, Edges: 19176, BestKnown: 11622, Weights: "unit"},
+	{Name: "G6", Nodes: 800, Edges: 19176, BestKnown: 2178, Weights: "+/-1"},
+	{Name: "G11", Nodes: 800, Edges: 1600, BestKnown: 564, Weights: "+/-1"},
+	{Name: "G12", Nodes: 800, Edges: 1600, BestKnown: 556, Weights: "+/-1"},
+	{Name: "G13", Nodes: 800, Edges: 1600, BestKnown: 582, Weights: "+/-1"},
+	{Name: "G14", Nodes: 800, Edges: 4694, BestKnown: 3064, Weights: "unit"},
+	{Name: "G15", Nodes: 800, Edges: 4661, BestKnown: 3050, Weights: "unit"},
+	{Name: "G22", Nodes: 2000, Edges: 19990, BestKnown: 13359, Weights: "unit"},
+	{Name: "G43", Nodes: 1000, Edges: 9990, BestKnown: 6660, Weights: "unit"},
+	{Name: "G48", Nodes: 3000, Edges: 6000, BestKnown: 6000, Exact: true, Weights: "+/-1"},
+	{Name: "G50", Nodes: 3000, Edges: 6000, BestKnown: 5880, Weights: "+/-1"},
+}
+
+// Catalog returns the full instance list (fixtures first, then Gset),
+// copied so callers cannot mutate the table.
+func Catalog() []Instance {
+	return append([]Instance(nil), catalog...)
+}
+
+// Lookup finds an instance by name, case-insensitively ("g14" → G14).
+func Lookup(name string) (Instance, bool) {
+	for _, in := range catalog {
+		if strings.EqualFold(in.Name, name) {
+			return in, true
+		}
+	}
+	return Instance{}, false
+}
+
+// Load parses the instance and verifies its dimensions against the
+// catalog. Fixtures load from the embedded filesystem; Gset instances
+// load from dir/<Name> (the raw files as distributed — plain Gset
+// format, no extension).
+func Load(in Instance, dir string) (*graph.Graph, error) {
+	var g *graph.Graph
+	var err error
+	if in.Embedded() {
+		f, ferr := fixturesFS.Open(in.File)
+		if ferr != nil {
+			return nil, ferr
+		}
+		defer f.Close()
+		g, err = graph.ReadGset(f)
+	} else {
+		path := filepath.Join(dir, in.Name)
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return nil, fmt.Errorf("instances: %s is not embedded — download it first (see EXPERIMENTS.md): %w", in.Name, ferr)
+		}
+		defer f.Close()
+		g, err = graph.ReadGset(f)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("instances: %s: %w", in.Name, err)
+	}
+	if g.N() != in.Nodes || g.M() != in.Edges {
+		return nil, fmt.Errorf("instances: %s parsed as %d nodes / %d edges, catalog says %d / %d — corrupt or wrong file",
+			in.Name, g.N(), g.M(), in.Nodes, in.Edges)
+	}
+	return g, nil
+}

@@ -1,0 +1,296 @@
+// Package ising generalizes the repository's MaxCut-only workload to a
+// full Ising/QUBO plane. A Hamiltonian holds quadratic couplings J_ij,
+// linear fields h_i and a constant offset over spin variables s ∈ {±1}^n,
+//
+//	E(s) = Σ_{i<j} J_ij s_i s_j + Σ_i h_i s_i + offset,
+//
+// always as a MINIMIZATION objective. The package provides exact
+// QUBO↔Ising conversion, first-class constructors for classic problems
+// (weighted maximum independent set, minimum vertex cover, number
+// partitioning, and MaxCut itself as the degenerate J = w/2 case), a
+// 2^n diagonal table that compiles straight into the fused phase-table
+// execution path (internal/backend, internal/qsim/diagonal.go), and an
+// exact ancilla reduction to MaxCut so every layer above the device —
+// partitioning, QAOA² merging, the solve daemon, checkpoints, the
+// fleet — runs Ising workloads on unchanged plumbing.
+//
+// Spin/bit convention (shared with the rest of the repository, see
+// graph.SpinsFromBits): bit q of a basis index is 0 for s_q = +1 and
+// 1 for s_q = −1; QUBO variables map as x_i = (1 − s_i)/2, so x_i = 1
+// means "selected" and corresponds to bit 1.
+//
+// The Z2 spin-flip symmetry that the fused backend's reduced engine
+// exploits holds exactly when every field h_i is zero (E(s) = E(−s));
+// Z2Symmetric reports it and the backend enforces it — a Hamiltonian
+// with fields silently falls back to the full (unreduced) engine, never
+// to wrong amplitudes.
+package ising
+
+import (
+	"fmt"
+	"math"
+
+	"qaoa2/internal/graph"
+)
+
+// Coupling is one quadratic term J_ij s_i s_j with I < J.
+type Coupling struct {
+	I, J int
+	W    float64
+}
+
+// Hamiltonian is an Ising minimization objective over n spins.
+// The zero-cost way to build one is New followed by AddCoupling /
+// AddField / AddOffset; problem constructors (MaxCut, WeightedMIS, ...)
+// and QUBO.ToIsing build common shapes.
+type Hamiltonian struct {
+	n         int
+	couplings []Coupling
+	index     map[[2]int]int // (i,j) → couplings slot, duplicate merging
+	fields    []float64
+	offset    float64
+}
+
+// New returns an empty Hamiltonian over n spins (E ≡ 0).
+func New(n int) *Hamiltonian {
+	if n < 0 {
+		n = 0
+	}
+	return &Hamiltonian{
+		n:      n,
+		index:  make(map[[2]int]int),
+		fields: make([]float64, n),
+	}
+}
+
+// N returns the number of spin variables.
+func (h *Hamiltonian) N() int { return h.n }
+
+// Couplings returns the quadratic terms (i < j, duplicates merged). The
+// slice is owned by the Hamiltonian; callers must not modify it.
+func (h *Hamiltonian) Couplings() []Coupling { return h.couplings }
+
+// Fields returns the linear terms h_i. The slice is owned by the
+// Hamiltonian; callers must not modify it.
+func (h *Hamiltonian) Fields() []float64 { return h.fields }
+
+// Offset returns the constant term.
+func (h *Hamiltonian) Offset() float64 { return h.offset }
+
+// AddCoupling accumulates J_ij += w. Duplicate (i,j) pairs merge into
+// one term regardless of order; self-couplings are rejected (s_i² = 1,
+// fold them into the offset instead).
+func (h *Hamiltonian) AddCoupling(i, j int, w float64) error {
+	if i == j {
+		return fmt.Errorf("ising: self-coupling on spin %d (s_i^2 = 1; add %g to the offset instead)", i, w)
+	}
+	if i < 0 || j < 0 || i >= h.n || j >= h.n {
+		return fmt.Errorf("ising: coupling (%d,%d) outside 0..%d", i, j, h.n-1)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	key := [2]int{i, j}
+	if slot, ok := h.index[key]; ok {
+		h.couplings[slot].W += w
+		return nil
+	}
+	h.index[key] = len(h.couplings)
+	h.couplings = append(h.couplings, Coupling{I: i, J: j, W: w})
+	return nil
+}
+
+// AddField accumulates h_i += w.
+func (h *Hamiltonian) AddField(i int, w float64) error {
+	if i < 0 || i >= h.n {
+		return fmt.Errorf("ising: field on spin %d outside 0..%d", i, h.n-1)
+	}
+	h.fields[i] += w
+	return nil
+}
+
+// AddOffset accumulates the constant term.
+func (h *Hamiltonian) AddOffset(c float64) { h.offset += c }
+
+// HasFields reports whether any linear term is nonzero — the condition
+// that breaks the Z2 spin-flip symmetry.
+func (h *Hamiltonian) HasFields() bool {
+	for _, f := range h.fields {
+		if f != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Z2Symmetric reports whether E(s) = E(−s) for every s, i.e. whether
+// the fused backend's Z2-reduced engine may legally execute this
+// Hamiltonian. Quadratic terms and the offset are always symmetric;
+// only fields break it.
+func (h *Hamiltonian) Z2Symmetric() bool { return !h.HasFields() }
+
+// Energy evaluates E(s) for a full ±1 assignment.
+func (h *Hamiltonian) Energy(spins []int8) float64 {
+	if len(spins) != h.n {
+		panic(fmt.Sprintf("ising: %d spins for %d variables", len(spins), h.n))
+	}
+	e := h.offset
+	for _, c := range h.couplings {
+		e += c.W * float64(spins[c.I]) * float64(spins[c.J])
+	}
+	for i, f := range h.fields {
+		if f != 0 {
+			e += f * float64(spins[i])
+		}
+	}
+	return e
+}
+
+// EnergyBits evaluates E at a bit assignment (bit 0 → s = +1, bit 1 →
+// s = −1, the repository-wide convention).
+func (h *Hamiltonian) EnergyBits(bits []uint8) float64 {
+	return h.Energy(graph.SpinsFromBits(bits))
+}
+
+// Clone returns an independent deep copy.
+func (h *Hamiltonian) Clone() *Hamiltonian {
+	c := New(h.n)
+	c.couplings = append([]Coupling(nil), h.couplings...)
+	for slot, cp := range c.couplings {
+		c.index[[2]int{cp.I, cp.J}] = slot
+	}
+	copy(c.fields, h.fields)
+	c.offset = h.offset
+	return c
+}
+
+// Table returns the 2^n diagonal of E in the computational basis:
+// Table()[x] = E(s(x)) with bit q of x giving spin q (0 → +1, 1 → −1).
+// This is the object the fused backend compiles into its phase tables
+// (internal/qsim/diagonal.go) — the Ising counterpart of
+// backend.CutTable. n must be small enough for a dense table (the
+// backend enforces qsim.MaxQubits).
+func (h *Hamiltonian) Table() []float64 {
+	size := 1 << uint(h.n)
+	table := make([]float64, size)
+	for i := range table {
+		table[i] = h.offset
+	}
+	for _, c := range h.couplings {
+		bi := uint64(1) << uint(c.I)
+		bj := uint64(1) << uint(c.J)
+		for x := range table {
+			u := uint64(x)
+			if (u&bi != 0) == (u&bj != 0) {
+				table[x] += c.W
+			} else {
+				table[x] -= c.W
+			}
+		}
+	}
+	for i, f := range h.fields {
+		if f == 0 {
+			continue
+		}
+		bi := uint64(1) << uint(i)
+		for x := range table {
+			if uint64(x)&bi != 0 {
+				table[x] -= f
+			} else {
+				table[x] += f
+			}
+		}
+	}
+	return table
+}
+
+// GroundState brute-forces the minimum-energy assignment — the exact
+// reference for tests and small merge problems. n must be at most
+// MaxExactSpins.
+func (h *Hamiltonian) GroundState() ([]int8, float64, error) {
+	if h.n > MaxExactSpins {
+		return nil, 0, fmt.Errorf("ising: %d spins exceeds exact-solver cap of %d", h.n, MaxExactSpins)
+	}
+	if h.n == 0 {
+		return []int8{}, h.offset, nil
+	}
+	best := uint64(0)
+	bestE := math.Inf(1)
+	size := uint64(1) << uint(h.n)
+	bits := make([]uint8, h.n)
+	for x := uint64(0); x < size; x++ {
+		for q := 0; q < h.n; q++ {
+			bits[q] = uint8(x >> uint(q) & 1)
+		}
+		e := h.EnergyBits(bits)
+		if e < bestE {
+			bestE, best = e, x
+		}
+	}
+	spins := make([]int8, h.n)
+	for q := 0; q < h.n; q++ {
+		if best>>uint(q)&1 == 0 {
+			spins[q] = 1
+		} else {
+			spins[q] = -1
+		}
+	}
+	return spins, bestE, nil
+}
+
+// MaxExactSpins caps GroundState's brute force (2^26 evaluations, a
+// few seconds — same spirit as maxcut.MaxExactNodes).
+const MaxExactSpins = 26
+
+// ToMaxCut reduces the Hamiltonian to an equivalent MaxCut instance on
+// N()+1 nodes: couplings become edges w_ij = J_ij and each nonzero
+// field becomes an edge w_{i,a} = h_i to the extra ancilla node
+// a = N() (exploiting h_i s_i = h_i s_i s_a once s_a is pinned to +1).
+// For any ±1 assignment with s_a = +1,
+//
+//	E(s) = offset + W − 2·cut(s),  W = Σ J_ij + Σ h_i,
+//
+// so minimizing E is exactly maximizing the cut, and MaxCut's global
+// spin-flip symmetry lets a solver pin s_a for free. DecodeMaxCutSpins
+// inverts the reduction. This is the bridge that runs field-carrying
+// Hamiltonians through every MaxCut-shaped layer (partitioning, QAOA²
+// merge, serve, fleet) with zero changes there.
+func (h *Hamiltonian) ToMaxCut() (*graph.Graph, error) {
+	g := graph.New(h.n + 1)
+	for _, c := range h.couplings {
+		if c.W == 0 {
+			continue
+		}
+		if err := g.AddEdge(c.I, c.J, c.W); err != nil {
+			return nil, fmt.Errorf("ising: reduction edge (%d,%d): %w", c.I, c.J, err)
+		}
+	}
+	for i, f := range h.fields {
+		if f == 0 {
+			continue
+		}
+		if err := g.AddEdge(i, h.n, f); err != nil {
+			return nil, fmt.Errorf("ising: reduction ancilla edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// DecodeMaxCutSpins maps a cut of the ToMaxCut graph (N()+1 spins, the
+// ancilla last) back to an assignment of the original variables: the
+// global flip that pins the ancilla to +1, then the ancilla dropped.
+// The returned slice is freshly allocated.
+func (h *Hamiltonian) DecodeMaxCutSpins(cutSpins []int8) ([]int8, error) {
+	if len(cutSpins) != h.n+1 {
+		return nil, fmt.Errorf("ising: reduction decode got %d spins, want %d", len(cutSpins), h.n+1)
+	}
+	spins := make([]int8, h.n)
+	flip := int8(1)
+	if cutSpins[h.n] < 0 {
+		flip = -1
+	}
+	for i := range spins {
+		spins[i] = cutSpins[i] * flip
+	}
+	return spins, nil
+}

@@ -1,0 +1,469 @@
+package ising
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/rng"
+)
+
+// randomHamiltonian builds a dense-ish random Hamiltonian with fields,
+// deterministic in seed.
+func randomHamiltonian(t *testing.T, n int, seed uint64, withFields bool) *Hamiltonian {
+	t.Helper()
+	r := rng.New(seed)
+	h := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.6 {
+				if err := h.AddCoupling(i, j, r.Float64()*4-2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if withFields && r.Float64() < 0.7 {
+			if err := h.AddField(i, r.Float64()*2-1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h.AddOffset(r.Float64()*3 - 1.5)
+	return h
+}
+
+func bitsOf(x uint64, n int) []uint8 {
+	bits := make([]uint8, n)
+	for q := 0; q < n; q++ {
+		bits[q] = uint8(x >> uint(q) & 1)
+	}
+	return bits
+}
+
+func TestTableMatchesEnergy(t *testing.T) {
+	h := randomHamiltonian(t, 7, 11, true)
+	table := h.Table()
+	if len(table) != 1<<7 {
+		t.Fatalf("table length %d", len(table))
+	}
+	for x := range table {
+		bits := bitsOf(uint64(x), 7)
+		if e := h.EnergyBits(bits); math.Abs(e-table[x]) > 1e-12 {
+			t.Fatalf("x=%d: table %g, energy %g", x, table[x], e)
+		}
+	}
+}
+
+func TestCouplingMergeAndValidation(t *testing.T) {
+	h := New(4)
+	if err := h.AddCoupling(2, 0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddCoupling(0, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Couplings()) != 1 {
+		t.Fatalf("duplicate coupling not merged: %v", h.Couplings())
+	}
+	if c := h.Couplings()[0]; c.I != 0 || c.J != 2 || c.W != 2 {
+		t.Fatalf("merged coupling = %+v, want {0 2 2}", c)
+	}
+	if err := h.AddCoupling(1, 1, 1); err == nil {
+		t.Fatal("self-coupling accepted")
+	}
+	if err := h.AddCoupling(0, 4, 1); err == nil {
+		t.Fatal("out-of-range coupling accepted")
+	}
+	if err := h.AddField(-1, 1); err == nil {
+		t.Fatal("out-of-range field accepted")
+	}
+}
+
+func TestZ2Symmetry(t *testing.T) {
+	h := randomHamiltonian(t, 6, 3, false)
+	if !h.Z2Symmetric() || h.HasFields() {
+		t.Fatal("field-free Hamiltonian must be Z2-symmetric")
+	}
+	table := h.Table()
+	mask := len(table) - 1
+	for x := range table {
+		if table[x] != table[x^mask] {
+			t.Fatalf("Z2-symmetric table differs at %d vs %d", x, x^mask)
+		}
+	}
+	h.AddField(2, 0.25)
+	if h.Z2Symmetric() {
+		t.Fatal("Hamiltonian with a field reported Z2-symmetric")
+	}
+	// Fields that cancel back to zero restore the symmetry.
+	h.AddField(2, -0.25)
+	if !h.Z2Symmetric() {
+		t.Fatal("cancelled field still breaks the reported symmetry")
+	}
+}
+
+func TestQUBOIsingRoundTrip(t *testing.T) {
+	r := rng.New(17)
+	q := NewQUBO(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if r.Float64() < 0.7 {
+				q.AddQuad(i, j, r.Float64()*6-3)
+			}
+		}
+		q.AddLinear(i, r.Float64()*4-2)
+	}
+	q.AddOffset(0.75)
+
+	h := q.ToIsing()
+	// Pointwise identity F(x) = E(s(x)).
+	for x := 0; x < 1<<6; x++ {
+		bits := bitsOf(uint64(x), 6)
+		if f, e := q.Value(bits), h.EnergyBits(bits); math.Abs(f-e) > 1e-12 {
+			t.Fatalf("x=%d: QUBO %g vs Ising %g", x, f, e)
+		}
+	}
+
+	// Round-trip QUBO → Ising → QUBO reproduces coefficients (power-of-
+	// two factors; only summation order contributes error).
+	back := h.ToQUBO()
+	if back.N() != q.N() || math.Abs(back.Offset()-q.Offset()) > 1e-12 {
+		t.Fatalf("round-trip offset %g, want %g", back.Offset(), q.Offset())
+	}
+	wantQuad := map[[2]int]float64{}
+	for _, c := range q.Quad() {
+		wantQuad[[2]int{c.I, c.J}] = c.W
+	}
+	for _, c := range back.Quad() {
+		if math.Abs(c.W-wantQuad[[2]int{c.I, c.J}]) > 1e-12 {
+			t.Fatalf("round-trip quad (%d,%d) = %g, want %g", c.I, c.J, c.W, wantQuad[[2]int{c.I, c.J}])
+		}
+		delete(wantQuad, [2]int{c.I, c.J})
+	}
+	for k, w := range wantQuad {
+		if w != 0 {
+			t.Fatalf("round-trip dropped quad term %v = %g", k, w)
+		}
+	}
+	for i := range q.Linear() {
+		if math.Abs(back.Linear()[i]-q.Linear()[i]) > 1e-12 {
+			t.Fatalf("round-trip linear[%d] = %g, want %g", i, back.Linear()[i], q.Linear()[i])
+		}
+	}
+
+	// And the other direction: Ising → QUBO → Ising.
+	h2 := randomHamiltonian(t, 5, 23, true)
+	rt := h2.ToQUBO().ToIsing()
+	for x := 0; x < 1<<5; x++ {
+		bits := bitsOf(uint64(x), 5)
+		if a, b := h2.EnergyBits(bits), rt.EnergyBits(bits); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("ising round-trip differs at %d: %g vs %g", x, a, b)
+		}
+	}
+}
+
+func TestMaxCutProblemIsDegenerateCase(t *testing.T) {
+	g := graph.New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2.5)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 0.5)
+	g.MustAddEdge(0, 4, 1.5)
+	g.MustAddEdge(1, 3, 1)
+	p, err := MaxCutProblem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.H.Z2Symmetric() {
+		t.Fatal("MaxCut Hamiltonian must be Z2-symmetric")
+	}
+	// E(s) = −cut(s) pointwise (cut values summed edge by edge here;
+	// importing backend.CutTable would cycle, backend imports ising).
+	for x, e := range p.H.Table() {
+		cut := 0.0
+		for _, ed := range g.Edges() {
+			if (x>>uint(ed.I))&1 != (x>>uint(ed.J))&1 {
+				cut += ed.W
+			}
+		}
+		if math.Abs(e+cut) > 1e-12 {
+			t.Fatalf("x=%d: E = %g, want −cut = %g", x, e, -cut)
+		}
+	}
+	// Ground state = optimal cut, and Decode reports the cut value.
+	spins, energy, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := maxcut.BruteForce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(-energy-want.Value) > 1e-12 {
+		t.Fatalf("ground energy %g, want −%g", energy, want.Value)
+	}
+	a, err := p.Decode(spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Objective-want.Value) > 1e-12 || !a.Feasible {
+		t.Fatalf("decoded objective %g feasible=%v, want %g", a.Objective, a.Feasible, want.Value)
+	}
+}
+
+// bruteForceMIS finds the maximum-weight independent set by enumeration.
+func bruteForceMIS(g *graph.Graph, weights []float64) float64 {
+	best := 0.0
+	n := g.N()
+	for x := 0; x < 1<<uint(n); x++ {
+		ok := true
+		for _, e := range g.Edges() {
+			if x>>uint(e.I)&1 == 1 && x>>uint(e.J)&1 == 1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		w := 0.0
+		for i := 0; i < n; i++ {
+			if x>>uint(i)&1 == 1 {
+				w += weights[i]
+			}
+		}
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestWeightedMISGroundState(t *testing.T) {
+	// A 7-vertex conflict graph with weights that make the heavier,
+	// smaller set win over the larger unweighted one.
+	g := graph.New(7)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 0}, {1, 4}}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1], 1)
+	}
+	weights := []float64{3, 1, 2, 1, 2, 1, 1.5}
+	p, err := WeightedMIS(g, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.H.Z2Symmetric() {
+		t.Fatal("MIS encoding needs fields; reported Z2-symmetric")
+	}
+	spins, energy, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Decode(spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceMIS(g, weights)
+	if !a.Feasible {
+		t.Fatalf("ground state decodes infeasible: selected %v", a.Selected)
+	}
+	if math.Abs(a.Objective-want) > 1e-12 {
+		t.Fatalf("ground-state MIS weight %g, want %g (selected %v)", a.Objective, want, a.Selected)
+	}
+	// The encoding's minimum is −(optimal weight): penalties vanish on
+	// feasible sets.
+	if math.Abs(energy+want) > 1e-12 {
+		t.Fatalf("ground energy %g, want %g", energy, -want)
+	}
+	// An adjacent pair must decode infeasible.
+	bad := make([]int8, 7)
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[0], bad[1] = -1, -1 // select vertices 0 and 1, which conflict
+	ab, err := p.Decode(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Feasible {
+		t.Fatal("adjacent selection decoded as feasible")
+	}
+	if rejected, err := WeightedMIS(g, weights, 2); err == nil {
+		t.Fatalf("penalty below max weight accepted: %+v", rejected.Penalty)
+	}
+}
+
+func TestMinVertexCoverGroundState(t *testing.T) {
+	// Star K1,4 plus a pendant edge: optimal cover {center, one leaf-pair endpoint}.
+	g := graph.New(6)
+	for leaf := 1; leaf <= 4; leaf++ {
+		g.MustAddEdge(0, leaf, 1)
+	}
+	g.MustAddEdge(4, 5, 1)
+	p, err := MinVertexCover(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spins, _, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Decode(spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible {
+		t.Fatalf("ground-state cover %v leaves an edge uncovered", a.Selected)
+	}
+	if a.Objective != 2 {
+		t.Fatalf("minimum cover size %g, want 2 (selected %v)", a.Objective, a.Selected)
+	}
+}
+
+func TestNumberPartitionGroundState(t *testing.T) {
+	nums := []float64{4, 5, 6, 7, 8}
+	p, err := NumberPartition(nums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.H.Z2Symmetric() {
+		t.Fatal("number partitioning must be Z2-symmetric")
+	}
+	spins, energy, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Decode(spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4+5+6 = 15 vs 7+8 = 15: a perfect partition exists.
+	if a.Objective != 0 {
+		t.Fatalf("imbalance %g, want 0 (spins %v)", a.Objective, spins)
+	}
+	if math.Abs(energy) > 1e-12 {
+		t.Fatalf("ground energy %g, want 0", energy)
+	}
+}
+
+func TestToMaxCutReduction(t *testing.T) {
+	h := randomHamiltonian(t, 6, 41, true)
+	g, err := h.ToMaxCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 {
+		t.Fatalf("reduced graph has %d nodes, want 7", g.N())
+	}
+	// E(s, s_a=+1) = offset + W − 2·cut pointwise.
+	wTot := g.TotalWeight()
+	for x := 0; x < 1<<6; x++ {
+		bits := bitsOf(uint64(x), 7) // ancilla bit 0 → s_a = +1
+		cut := g.CutValueBits(bits)
+		e := h.EnergyBits(bits[:6])
+		if math.Abs(e-(h.Offset()+wTot-2*cut)) > 1e-12 {
+			t.Fatalf("x=%d: E=%g, offset+W−2cut=%g", x, e, h.Offset()+wTot-2*cut)
+		}
+	}
+	// Brute-force the reduced MaxCut and decode: must hit the ground state.
+	cut, err := maxcut.BruteForce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spins, err := h.DecodeMaxCutSpins(cut.Spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantE, err := h.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotE := h.Energy(spins); math.Abs(gotE-wantE) > 1e-12 {
+		t.Fatalf("decoded energy %g, want ground %g", gotE, wantE)
+	}
+	// Decode must pin the ancilla regardless of the cut's orientation.
+	flipped := make([]int8, len(cut.Spins))
+	for i, s := range cut.Spins {
+		flipped[i] = -s
+	}
+	spins2, err := h.DecodeMaxCutSpins(flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spins {
+		if spins[i] != spins2[i] {
+			t.Fatal("decode is not flip-invariant")
+		}
+	}
+	if _, err := h.DecodeMaxCutSpins(cut.Spins[:3]); err == nil {
+		t.Fatal("short decode accepted")
+	}
+}
+
+func TestAnnealFindsGroundState(t *testing.T) {
+	h := randomHamiltonian(t, 10, 7, true)
+	_, wantE, err := h.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := Anneal(h, AnnealOptions{Sweeps: 400}, rng.New(5))
+	if math.Abs(sol.Energy-h.Energy(sol.Spins)) > 1e-9 {
+		t.Fatalf("reported energy %g but assignment has %g", sol.Energy, h.Energy(sol.Spins))
+	}
+	if sol.Energy > wantE+1e-9 {
+		t.Fatalf("anneal energy %g, ground %g", sol.Energy, wantE)
+	}
+}
+
+func TestGroundStateCap(t *testing.T) {
+	if _, _, err := New(MaxExactSpins + 1).GroundState(); err == nil {
+		t.Fatal("oversized brute force accepted")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	h := randomHamiltonian(t, 4, 2, true)
+	c := h.Clone()
+	c.AddCoupling(0, 1, 10)
+	c.AddField(2, 3)
+	c.AddOffset(1)
+	hT, cT := h.Table(), c.Table()
+	same := true
+	for i := range hT {
+		if hT[i] != cT[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+// TestFromHamiltonianAndAccessors covers the raw-Ising problem wrapper
+// and the read accessors: objective = energy, always feasible.
+func TestFromHamiltonianAndAccessors(t *testing.T) {
+	h := New(3)
+	if err := h.AddCoupling(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddField(2, -0.5); err != nil {
+		t.Fatal(err)
+	}
+	h.AddOffset(2)
+	if f := h.Fields(); len(f) != 3 || f[2] != -0.5 {
+		t.Fatalf("Fields() = %v", f)
+	}
+	p := FromHamiltonian(h)
+	if p.Kind != KindIsing || p.H != h {
+		t.Fatalf("FromHamiltonian wrapped %q %p", p.Kind, p.H)
+	}
+	spins := []int8{1, -1, 1}
+	a, err := p.Decode(spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible || a.Objective != h.Energy(spins) || a.Energy != a.Objective {
+		t.Fatalf("decoded %+v, want energy %g", a, h.Energy(spins))
+	}
+}

@@ -1,0 +1,151 @@
+package ising
+
+import "fmt"
+
+// QUBO is a quadratic unconstrained binary optimization objective over
+// x ∈ {0,1}^n,
+//
+//	F(x) = Σ_{i<j} Q_ij x_i x_j + Σ_i L_i x_i + offset,
+//
+// as a MINIMIZATION objective, mirroring Hamiltonian. The two forms
+// convert exactly into each other under x_i = (1 − s_i)/2: every
+// conversion factor is a power of two, so ToIsing followed by ToQUBO
+// (and vice versa) reproduces the original coefficients up to
+// floating-point summation order — the round-trip tests pin it at
+// 1e-12.
+type QUBO struct {
+	n      int
+	quad   []Coupling
+	index  map[[2]int]int
+	linear []float64
+	offset float64
+}
+
+// NewQUBO returns an empty QUBO over n binary variables (F ≡ 0).
+func NewQUBO(n int) *QUBO {
+	if n < 0 {
+		n = 0
+	}
+	return &QUBO{
+		n:      n,
+		index:  make(map[[2]int]int),
+		linear: make([]float64, n),
+	}
+}
+
+// N returns the number of binary variables.
+func (q *QUBO) N() int { return q.n }
+
+// Quad returns the quadratic terms (i < j, duplicates merged). The
+// slice is owned by the QUBO; callers must not modify it.
+func (q *QUBO) Quad() []Coupling { return q.quad }
+
+// Linear returns the linear terms. The slice is owned by the QUBO;
+// callers must not modify it.
+func (q *QUBO) Linear() []float64 { return q.linear }
+
+// Offset returns the constant term.
+func (q *QUBO) Offset() float64 { return q.offset }
+
+// AddQuad accumulates Q_ij += w. Self-terms are rejected: x_i² = x_i,
+// fold them into the linear coefficient instead.
+func (q *QUBO) AddQuad(i, j int, w float64) error {
+	if i == j {
+		return fmt.Errorf("ising: QUBO self-term on variable %d (x_i^2 = x_i; add %g to the linear term instead)", i, w)
+	}
+	if i < 0 || j < 0 || i >= q.n || j >= q.n {
+		return fmt.Errorf("ising: QUBO term (%d,%d) outside 0..%d", i, j, q.n-1)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	key := [2]int{i, j}
+	if slot, ok := q.index[key]; ok {
+		q.quad[slot].W += w
+		return nil
+	}
+	q.index[key] = len(q.quad)
+	q.quad = append(q.quad, Coupling{I: i, J: j, W: w})
+	return nil
+}
+
+// AddLinear accumulates L_i += w.
+func (q *QUBO) AddLinear(i int, w float64) error {
+	if i < 0 || i >= q.n {
+		return fmt.Errorf("ising: QUBO linear term on variable %d outside 0..%d", i, q.n-1)
+	}
+	q.linear[i] += w
+	return nil
+}
+
+// AddOffset accumulates the constant term.
+func (q *QUBO) AddOffset(c float64) { q.offset += c }
+
+// Value evaluates F(x) for a full 0/1 assignment.
+func (q *QUBO) Value(x []uint8) float64 {
+	if len(x) != q.n {
+		panic(fmt.Sprintf("ising: %d bits for %d QUBO variables", len(x), q.n))
+	}
+	v := q.offset
+	for _, t := range q.quad {
+		if x[t.I] == 1 && x[t.J] == 1 {
+			v += t.W
+		}
+	}
+	for i, l := range q.linear {
+		if l != 0 && x[i] == 1 {
+			v += l
+		}
+	}
+	return v
+}
+
+// ToIsing converts under x_i = (1 − s_i)/2:
+//
+//	Q x_i x_j → Q/4 · (1 − s_i − s_j + s_i s_j)
+//	L x_i     → L/2 · (1 − s_i)
+//
+// Minima map one-to-one: F(x) = E(s(x)) for every assignment (the
+// round-trip tests pin the identity pointwise).
+func (q *QUBO) ToIsing() *Hamiltonian {
+	h := New(q.n)
+	for _, t := range q.quad {
+		h.AddCoupling(t.I, t.J, t.W/4)
+		h.AddField(t.I, -t.W/4)
+		h.AddField(t.J, -t.W/4)
+		h.AddOffset(t.W / 4)
+	}
+	for i, l := range q.linear {
+		if l == 0 {
+			continue
+		}
+		h.AddField(i, -l/2)
+		h.AddOffset(l / 2)
+	}
+	h.AddOffset(q.offset)
+	return h
+}
+
+// ToQUBO converts under s_i = 1 − 2x_i, the exact inverse of
+// QUBO.ToIsing:
+//
+//	J s_i s_j → J · (1 − 2x_i − 2x_j + 4 x_i x_j)
+//	h s_i     → h · (1 − 2x_i)
+func (h *Hamiltonian) ToQUBO() *QUBO {
+	q := NewQUBO(h.n)
+	for _, c := range h.couplings {
+		q.AddQuad(c.I, c.J, 4*c.W)
+		q.AddLinear(c.I, -2*c.W)
+		q.AddLinear(c.J, -2*c.W)
+		q.AddOffset(c.W)
+	}
+	for i, f := range h.fields {
+		if f == 0 {
+			continue
+		}
+		q.AddLinear(i, -2*f)
+		q.AddOffset(f)
+	}
+	q.AddOffset(h.offset)
+	return q
+}

@@ -1,0 +1,193 @@
+package qaoa2
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/ising"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/solver"
+)
+
+// coverProblem is a vertex-cover instance sized to exceed a small
+// qubit budget, forcing the reduction path when MaxQubits is low.
+func coverProblem(t *testing.T, n int) *ising.Problem {
+	t.Helper()
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n, 1)
+		if v%3 == 0 {
+			g.MustAddEdge(v, (v+n/2)%n, 1)
+		}
+	}
+	p, err := ising.MinVertexCover(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSolveIsingDirectPath(t *testing.T) {
+	p := coverProblem(t, 8)
+	_, ground, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveIsing(p.H, Options{MaxQubits: 10, Solver: solver.ExactSolver{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Direct {
+		t.Fatal("device-sized Hamiltonian with a capable solver did not run direct")
+	}
+	if res.MaxCut != nil {
+		t.Fatal("direct path carries a reduction result")
+	}
+	if math.Abs(res.Energy-ground) > 1e-9 {
+		t.Fatalf("direct energy %g, ground %g", res.Energy, ground)
+	}
+	if res.Report.Winner != "exact" {
+		t.Fatalf("attribution winner %q, want exact", res.Report.Winner)
+	}
+}
+
+func TestSolveIsingReductionPathForMaxCutOnlySolver(t *testing.T) {
+	p := coverProblem(t, 8)
+	_, ground, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gw has no native Ising support: even a device-sized instance must
+	// take the ancilla reduction.
+	res, err := SolveIsing(p.H, Options{MaxQubits: 10, Solver: solver.GWSolver{}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Direct {
+		t.Fatal("gw solver cannot run the direct Ising path")
+	}
+	if res.MaxCut == nil || res.MaxCut.SubGraphs < 1 {
+		t.Fatal("reduction path lost the underlying MaxCut result")
+	}
+	if len(res.Spins) != p.H.N() {
+		t.Fatalf("decoded %d spins for %d variables", len(res.Spins), p.H.N())
+	}
+	if math.Abs(res.Energy-p.H.Energy(res.Spins)) > 1e-12 {
+		t.Fatal("reduction energy not recomputed from the Hamiltonian")
+	}
+	if res.Energy < ground-1e-9 {
+		t.Fatalf("energy %g below ground %g", res.Energy, ground)
+	}
+	a, err := p.Decode(res.Spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible {
+		t.Logf("note: reduction decode infeasible cover %v (penalty too mild for heuristic)", a.Selected)
+	}
+}
+
+func TestSolveIsingReductionPathOverBudget(t *testing.T) {
+	// 20 variables, budget 8: the reduced 21-node MaxCut instance must
+	// go through partitioning + merge, with attribution in SubReports.
+	p := coverProblem(t, 20)
+	res, err := SolveIsing(p.H, Options{
+		MaxQubits: 8,
+		Solver:    solver.AnnealSolver{},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Direct {
+		t.Fatal("20 spins on an 8-qubit budget ran direct")
+	}
+	if res.MaxCut.SubGraphs < 2 {
+		t.Fatalf("expected a real decomposition, got %d sub-graphs", res.MaxCut.SubGraphs)
+	}
+	for _, r := range res.MaxCut.SubReports {
+		if r.Solver != "anneal" {
+			t.Fatalf("sub-report attributes %q, want anneal", r.Solver)
+		}
+	}
+	if math.Abs(res.Energy-p.H.Energy(res.Spins)) > 1e-12 {
+		t.Fatal("energy inconsistent with decoded spins")
+	}
+	// A sane heuristic cover of this ring-plus-chords graph stays below
+	// the trivial all-vertices cover.
+	a, err := p.Decode(res.Spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective >= float64(p.H.N()) {
+		t.Fatalf("cover of size %g is the trivial one", a.Objective)
+	}
+}
+
+func TestSolveIsingDirectDefaultSolver(t *testing.T) {
+	// The QAOA solver has native support: a Z2-symmetric problem
+	// (number partitioning) exercises the fused Z2-reduced engine
+	// through the whole direct stack.
+	p, err := ising.NumberPartition([]float64{3, 1, 1, 2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveIsing(p.H, Options{
+		Solver: solver.QAOASolver{Opts: qaoa.Options{Layers: 4, TopK: 8}},
+		Seed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Direct {
+		t.Fatal("default solver should run direct")
+	}
+	if res.Report.Winner != "qaoa" {
+		t.Fatalf("winner %q, want qaoa", res.Report.Winner)
+	}
+	a, err := p.Decode(res.Spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3+1+1 = 2+2+1: a perfect partition exists and the instance is
+	// tiny; QAOA with top-1 decoding finds imbalance 0.
+	if a.Objective != 0 {
+		t.Fatalf("imbalance %g, want 0", a.Objective)
+	}
+}
+
+func TestSolveProblemDecodes(t *testing.T) {
+	p := coverProblem(t, 8)
+	res, a, err := SolveProblem(p, Options{MaxQubits: 10, Solver: solver.ExactSolver{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible {
+		t.Fatalf("exact cover infeasible: %v", a.Selected)
+	}
+	if a.Energy != res.Energy {
+		t.Fatal("assignment energy differs from solve energy")
+	}
+	if len(a.Selected) == 0 || a.Objective != float64(len(a.Selected)) {
+		t.Fatalf("bad cover decode: %+v", a)
+	}
+	if _, _, err := SolveProblem(nil, Options{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+}
+
+func TestSolveIsingEmptyAndNil(t *testing.T) {
+	if _, err := SolveIsing(nil, Options{}); err == nil {
+		t.Fatal("nil Hamiltonian accepted")
+	}
+	h := ising.New(0)
+	h.AddOffset(2.5)
+	res, err := SolveIsing(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != 2.5 || len(res.Spins) != 0 || !res.Direct {
+		t.Fatalf("empty Hamiltonian: %+v", res)
+	}
+}

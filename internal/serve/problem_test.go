@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"qaoa2/internal/ising"
+)
+
+// misSpec is a small weighted-MIS submission with a brute-force
+// checkable optimum, alongside its materialized problem.
+func misSpec(t *testing.T) (ProblemSpec, *ising.Problem) {
+	t.Helper()
+	gs := GraphSpec{Nodes: 6, Edges: []EdgeSpec{
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}, {5, 0, 1}, {0, 3, 1},
+	}}
+	spec := ProblemSpec{Kind: ising.KindMIS, Graph: &gs, Weights: []float64{2, 1, 2, 1, 2, 1}}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, p
+}
+
+// TestWeightedMISEndToEndHTTP drives a weighted-MIS problem through
+// the full HTTP service surface: submit, solve via the ancilla MaxCut
+// reduction, decode to the problem's own variables, attribute the
+// sub-solves, key/coalesce, and answer duplicates from the cache.
+func TestWeightedMISEndToEndHTTP(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	ctx := context.Background()
+
+	spec, p := misSpec(t)
+	groundSpins, ground, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Decode(groundSpins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Feasible {
+		t.Fatalf("ground state of the MIS encoding is infeasible: %+v", want)
+	}
+
+	req := SolveRequest{Problem: &spec, Solver: "exact", Merge: "exact", Seed: 1}
+	st, err := c.Solve(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("solve finished %+v", st)
+	}
+	// The job itself ran the reduced MaxCut instance: 6 variables plus
+	// the ancilla node.
+	cutSpins, err := DecodeSpins(st.Result.Spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cutSpins) != p.H.N()+1 {
+		t.Fatalf("reduced instance has %d nodes, want %d", len(cutSpins), p.H.N()+1)
+	}
+	// Problem-level decode rides on the result.
+	pr := st.Result.Problem
+	if pr == nil {
+		t.Fatal("problem job finished without a problem report")
+	}
+	if pr.Kind != ising.KindMIS || !pr.Feasible {
+		t.Fatalf("problem report %+v, want a feasible %q decode", pr, ising.KindMIS)
+	}
+	if math.Abs(pr.Energy-ground) > 1e-9 {
+		t.Fatalf("energy %g, ground %g", pr.Energy, ground)
+	}
+	if math.Abs(pr.Objective-want.Objective) > 1e-9 {
+		t.Fatalf("selected weight %g, optimum %g", pr.Objective, want.Objective)
+	}
+	spins, err := DecodeSpins(pr.Spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Decode(spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != pr.Energy || a.Objective != pr.Objective || len(pr.Selected) != len(a.Selected) {
+		t.Fatalf("report %+v does not re-decode from its spins: %+v", pr, a)
+	}
+	// Attribution: every kept sub-cut names the solver that produced it.
+	if len(st.Result.Reports) == 0 {
+		t.Fatal("no sub-reports")
+	}
+	for i, r := range st.Result.Reports {
+		if r.Solver != "exact" {
+			t.Fatalf("report %d attributed to %q, want exact", i, r.Solver)
+		}
+	}
+	// The client-side JobKey matches the id the server assigned — the
+	// routing invariant fleet front doors rely on.
+	key, err := req.JobKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != st.ID {
+		t.Fatalf("JobKey %s, server assigned %s", key, st.ID)
+	}
+	// A duplicate submission answers from the cache.
+	again, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.ID != st.ID {
+		t.Fatalf("duplicate problem submission not coalesced: %+v", again)
+	}
+
+	// A composite solver attributes problem sub-solves to the winning
+	// member, exactly like plain MaxCut jobs.
+	comp, err := c.Solve(ctx, SolveRequest{
+		Problem: &spec, Solver: "best", Merge: "one-exchange", Layers: 1, Seed: 4,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.State != JobDone || comp.Result.Problem == nil {
+		t.Fatalf("composite problem solve: %+v", comp)
+	}
+	for i, r := range comp.Result.Reports {
+		if r.Solver == "best" || r.Solver == "" || len(r.Attempts) == 0 {
+			t.Fatalf("report %d lacks member attribution: %+v", i, r)
+		}
+	}
+}
+
+// TestProblemKeysJobs pins the identity rules: the canonical problem
+// folds into the job key, so problems that reduce to the same graph
+// stay distinct solves, and a user-supplied Graph is overridden by the
+// derived reduction.
+func TestProblemKeysJobs(t *testing.T) {
+	raw := ProblemSpec{Kind: ising.KindIsing, Vars: 3,
+		Couplings: []CouplingSpec{{0, 1, 1}, {1, 2, 0.5}}}
+	shifted := raw
+	shifted.Offset = 1 // same reduced graph, different Hamiltonian
+
+	a, err := SolveRequest{Problem: &raw}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveRequest{Problem: &shifted}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Nodes != 4 || b.Graph.Nodes != 4 {
+		t.Fatalf("reduction graphs have %d/%d nodes, want 4", a.Graph.Nodes, b.Graph.Nodes)
+	}
+	if len(a.Graph.Edges) != len(b.Graph.Edges) {
+		t.Fatal("offset changed the reduced graph")
+	}
+	if a.key("fp") == b.key("fp") {
+		t.Fatal("problems differing only in offset share a job key")
+	}
+	// Idempotent: re-normalizing a normalized request keeps the key —
+	// the property restore's fingerprint verification depends on.
+	a2, err := a.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.key("fp") != a.key("fp") {
+		t.Fatal("normalize is not idempotent for problem requests")
+	}
+	// Whatever graph the client wrote alongside the problem is ignored.
+	over, err := SolveRequest{Problem: &raw, Graph: GraphSpec{Nodes: 99}}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Graph.Nodes != 4 {
+		t.Fatalf("explicit graph survived normalization: %d nodes", over.Graph.Nodes)
+	}
+	// Plain MaxCut requests keep their keys (problemKey is empty).
+	if problemKey(SolveRequest{}) != "" {
+		t.Fatal("plain request has a nonempty problem key")
+	}
+}
+
+// TestProblemSpecValidation rejects malformed specs at submit time.
+func TestProblemSpecValidation(t *testing.T) {
+	s, err := New(Config{GlobalParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for name, spec := range map[string]ProblemSpec{
+		"unknown kind":     {Kind: "tsp"},
+		"mis sans graph":   {Kind: ising.KindMIS},
+		"bad penalty":      {Kind: ising.KindVertexCover, Graph: &GraphSpec{Nodes: 2, Edges: []EdgeSpec{{0, 1, 1}}}, Penalty: 0.5},
+		"empty numbers":    {Kind: ising.KindNumberPartition},
+		"zero vars":        {Kind: ising.KindIsing},
+		"field mismatch":   {Kind: ising.KindIsing, Vars: 3, Fields: []float64{1}},
+		"self coupling":    {Kind: ising.KindIsing, Vars: 2, Couplings: []CouplingSpec{{1, 1, 1}}},
+		"out of range":     {Kind: ising.KindIsing, Vars: 2, Couplings: []CouplingSpec{{0, 5, 1}}},
+		"bad mis weights":  {Kind: ising.KindMIS, Graph: &GraphSpec{Nodes: 2}, Weights: []float64{1, -1}},
+		"weight count off": {Kind: ising.KindMIS, Graph: &GraphSpec{Nodes: 2}, Weights: []float64{1}},
+	} {
+		spec := spec
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("%s: Build accepted %+v", name, spec)
+		}
+		if _, err := s.Submit(SolveRequest{Problem: &spec}); err == nil {
+			t.Errorf("%s: Submit accepted %+v", name, spec)
+		}
+	}
+}
+
+// TestProblemJobPersistRestore: a finished problem job survives a
+// daemon restart — restore re-normalizes the persisted request
+// (re-deriving the reduced graph) and must land on the identical key.
+func TestProblemJobPersistRestore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{GlobalParallelism: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, p := misSpec(t)
+	st := solveWait(t, s, SolveRequest{Problem: &spec, Solver: "exact", Merge: "exact", Seed: 9})
+	if st.State != JobDone || st.Result.Problem == nil {
+		t.Fatalf("problem job finished %+v", st)
+	}
+	s.Close()
+
+	s2, err := New(Config{GlobalParallelism: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.PersistErr(); err != nil {
+		t.Fatalf("restore flagged %v", err)
+	}
+	got, err := s2.Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobDone || got.Result.Problem == nil {
+		t.Fatalf("restored problem job %+v", got)
+	}
+	if got.Result.Problem.Objective != st.Result.Problem.Objective ||
+		got.Result.Problem.Spins != st.Result.Problem.Spins {
+		t.Fatal("restored problem report differs from the original")
+	}
+	// The restored record still coalesces with a fresh submission.
+	again, err := s2.Submit(SolveRequest{Problem: &spec, Solver: "exact", Merge: "exact", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.ID != st.ID {
+		t.Fatalf("restored job did not answer the duplicate: %+v", again)
+	}
+	// Sanity: the decode is still the optimum.
+	spins, ground, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Decode(spins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Result.Problem.Objective-want.Objective) > 1e-9 ||
+		math.Abs(got.Result.Problem.Energy-ground) > 1e-9 {
+		t.Fatalf("restored decode %+v, want objective %g energy %g",
+			got.Result.Problem, want.Objective, ground)
+	}
+}

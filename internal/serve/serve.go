@@ -143,6 +143,11 @@ type JobResult struct {
 	IntraCut  float64     `json:"intraCut"`
 	CrossCut  float64     `json:"crossCut"`
 	Reports   []SubReport `json:"reports,omitempty"`
+	// Problem is the problem-level decode of an Ising/QUBO submission
+	// (nil for plain MaxCut jobs): the job's Spins/Value describe the
+	// reduced MaxCut instance; this carries the answer in the
+	// problem's own variables.
+	Problem *ProblemReport `json:"problem,omitempty"`
 }
 
 // SubReport mirrors qaoa2.SubReport in wire form. Solver names the
@@ -380,7 +385,8 @@ func sameSolve(j *job, fp string, req SolveRequest) bool {
 		j.req.Solver == req.Solver &&
 		j.req.Merge == req.Merge &&
 		j.req.Layers == req.Layers &&
-		j.req.Seed == req.Seed
+		j.req.Seed == req.Seed &&
+		problemKey(j.req) == problemKey(req)
 }
 
 // clampParallelism applies the per-job budget clamp.
@@ -713,7 +719,7 @@ func (s *Server) runJob(j *job) {
 		s.settleLocked(j)
 	default:
 		j.state = JobDone
-		j.result = resultOf(res)
+		j.result = resultOf(j.req, res)
 		s.observeRunLocked(time.Since(start))
 		s.settleLocked(j)
 	}
@@ -858,8 +864,9 @@ func (s *Server) releaseStreamRef(id string) {
 	}
 }
 
-// resultOf converts a runtime result to wire form.
-func resultOf(res *q2.Result) *JobResult {
+// resultOf converts a runtime result to wire form, decoding problem
+// submissions back to their own variables.
+func resultOf(req SolveRequest, res *q2.Result) *JobResult {
 	out := &JobResult{
 		Spins:     EncodeSpins(res.Cut.Spins),
 		Value:     res.Cut.Value,
@@ -872,6 +879,9 @@ func resultOf(res *q2.Result) *JobResult {
 	for i, r := range res.SubReports {
 		out.Reports[i] = SubReport{Nodes: r.Nodes, Edges: r.Edges, Value: r.Value,
 			Solver: r.Solver, Attempts: r.Attempts}
+	}
+	if req.Problem != nil {
+		out.Problem = problemReportOf(req.Problem, res.Cut.Spins)
 	}
 	return out
 }

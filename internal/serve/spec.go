@@ -55,14 +55,21 @@ const (
 )
 
 // SolveRequest is one solve submission (the POST /v1/solve body).
-// Graph, MaxQubits, Solver, Merge, Layers and Seed determine the
-// result and form the job's cache key; Priority and Parallelism only
+// Graph (or Problem), MaxQubits, Solver, Merge, Layers and Seed
+// determine the result and form the job's cache key; Priority and Parallelism only
 // shape scheduling, so duplicates that differ in them still coalesce
 // (the task-graph runtime returns bit-identical results at every
 // parallelism).
 type SolveRequest struct {
-	Graph     GraphSpec `json:"graph"`
-	MaxQubits int       `json:"maxQubits,omitempty"`
+	Graph GraphSpec `json:"graph"`
+	// Problem submits an Ising/QUBO workload instead of a plain MaxCut
+	// graph. normalize derives Graph from it (the ancilla MaxCut
+	// reduction of the problem Hamiltonian), so any explicit Graph is
+	// ignored, and key folds the canonical problem into the job
+	// identity so distinct problems never collide even when their
+	// reduced graphs coincide.
+	Problem   *ProblemSpec `json:"problem,omitempty"`
+	MaxQubits int          `json:"maxQubits,omitempty"`
 	// Solver/Merge name the sub-graph and merge-graph solvers — any
 	// name in the solver registry (internal/solver: "qaoa", "gw",
 	// "sdp-gw", "rqaoa", "best", "portfolio", "ml-adaptive", "anneal",
@@ -82,8 +89,25 @@ type SolveRequest struct {
 }
 
 // normalize applies defaults and validates everything except the graph
-// (built separately so the fingerprint is computed once).
+// (built separately so the fingerprint is computed once). A problem
+// submission is materialized here: the Hamiltonian's MaxCut reduction
+// becomes r.Graph deterministically, so persistence, restore, JobKey
+// fleet routing and checkpoint fingerprints all operate on the same
+// concrete instance. Re-normalizing an already-normalized request
+// recomputes the identical graph (the derivation is pure), which is
+// what lets restore verify persisted job keys.
 func (r SolveRequest) normalize() (SolveRequest, error) {
+	if r.Problem != nil {
+		p, err := r.Problem.Build()
+		if err != nil {
+			return r, err
+		}
+		g, err := p.H.ToMaxCut()
+		if err != nil {
+			return r, err
+		}
+		r.Graph = GraphSpecOf(g)
+	}
 	if r.MaxQubits <= 0 {
 		r.MaxQubits = 16
 	}
@@ -113,13 +137,20 @@ func (r SolveRequest) normalize() (SolveRequest, error) {
 // task-graph runtime's checkpoint-header fingerprint, so the cache
 // key and the on-disk resume match can never drift apart.
 func (r SolveRequest) key(graphFP string) string {
+	cfg := fmt.Sprintf("layers:%d", r.Layers)
+	if r.Problem != nil {
+		// Problems fold their canonical JSON into the identity: two raw
+		// Hamiltonians differing only in Offset reduce to the same graph
+		// but are different solves with different decoded answers.
+		cfg += ";problem:" + r.Problem.canonical()
+	}
 	return rt.Header{
 		Graph:     graphFP,
 		Seed:      r.Seed,
 		MaxQubits: r.MaxQubits,
 		Solver:    r.Solver,
 		Merge:     r.Merge,
-		Config:    fmt.Sprintf("layers:%d", r.Layers),
+		Config:    cfg,
 	}.Fingerprint()
 }
 

@@ -1,0 +1,153 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"qaoa2/internal/ising"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/rng"
+)
+
+// IsingSolver is the optional extension for solvers that can minimize
+// an Ising Hamiltonian (internal/ising) natively — fields and all,
+// without the ancilla MaxCut reduction. The qaoa2 layer dispatches
+// device-sized Hamiltonians through this interface when the configured
+// solver implements it and falls back to the reduction otherwise, so
+// every registry name keeps working on Ising workloads either way.
+type IsingSolver interface {
+	Solver
+	// SolveIsing returns a low-energy assignment of h using randomness
+	// from r only.
+	SolveIsing(h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, error)
+}
+
+// IsingAttributor is the Ising counterpart of Attributor: composite
+// solvers attribute the returned assignment to the inner solver that
+// produced it.
+type IsingAttributor interface {
+	IsingSolver
+	// SolveIsingAttributed is SolveIsing plus attribution. It MUST
+	// return the identical solution SolveIsing returns for the same
+	// (h, r).
+	SolveIsingAttributed(h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, Report, error)
+}
+
+// SolveIsingAttributed minimizes h with s and always returns an
+// attribution, mirroring SolveAttributed. Solvers without native Ising
+// support fail with a clear error — callers that can reduce to MaxCut
+// (qaoa2.SolveIsing) catch that case by checking the interface before
+// calling.
+func SolveIsingAttributed(s Solver, h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, Report, error) {
+	switch v := s.(type) {
+	case IsingAttributor:
+		return v.SolveIsingAttributed(h, r)
+	case IsingSolver:
+		sol, err := v.SolveIsing(h, r)
+		if err != nil {
+			return ising.Solution{}, Report{}, err
+		}
+		return sol, Report{Winner: s.Name()}, nil
+	default:
+		return ising.Solution{}, Report{}, fmt.Errorf("solver: %s has no native Ising support (reduce via ising.ToMaxCut)", s.Name())
+	}
+}
+
+// SolveIsing implements IsingSolver: the direct variational loop of
+// qaoa.SolveIsing with this solver's options.
+func (s QAOASolver) SolveIsing(h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, error) {
+	res, err := qaoa.SolveIsing(h, s.Opts, r)
+	if err != nil {
+		return ising.Solution{}, err
+	}
+	return ising.Solution{Spins: res.Spins, Energy: res.Energy}, nil
+}
+
+// SolveIsing implements IsingSolver by brute force (h.GroundState).
+func (ExactSolver) SolveIsing(h *ising.Hamiltonian, _ *rng.Rand) (ising.Solution, error) {
+	spins, energy, err := h.GroundState()
+	if err != nil {
+		return ising.Solution{}, err
+	}
+	return ising.Solution{Spins: spins, Energy: energy}, nil
+}
+
+// SolveIsing implements IsingSolver with single-spin-flip Metropolis
+// annealing directly on the Hamiltonian (ising.Anneal), reusing this
+// solver's sweep budget and temperature schedule.
+func (s AnnealSolver) SolveIsing(h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, error) {
+	return ising.Anneal(h, ising.AnnealOptions{
+		Sweeps:    s.Opts.Sweeps,
+		TempStart: s.Opts.TempStart,
+		TempEnd:   s.Opts.TempEnd,
+	}, r), nil
+}
+
+// SolveIsing implements IsingSolver: best of Trials uniformly random
+// assignments.
+func (s RandomSolver) SolveIsing(h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, error) {
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	best := ising.Solution{Energy: math.Inf(1)}
+	for t := 0; t < trials; t++ {
+		spins := make([]int8, h.N())
+		for i := range spins {
+			if r.Bool() {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		if e := h.Energy(spins); e < best.Energy {
+			best = ising.Solution{Spins: spins, Energy: e}
+		}
+	}
+	return best, nil
+}
+
+// SolveIsing implements IsingSolver.
+func (s BestOfSolver) SolveIsing(h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, error) {
+	sol, _, err := s.SolveIsingAttributed(h, r)
+	return sol, err
+}
+
+// SolveIsingAttributed implements IsingAttributor: every inner solver
+// with native Ising support competes (lowest energy wins, earliest
+// index on ties); members without Ising support are recorded as failed
+// attempts rather than aborting the composite — "best" degrades to the
+// members that can play. Inner randomness derives exactly like the
+// MaxCut path (Split(i+1)).
+func (s BestOfSolver) SolveIsingAttributed(h *ising.Hamiltonian, r *rng.Rand) (ising.Solution, Report, error) {
+	if len(s.Solvers) == 0 {
+		return ising.Solution{}, Report{}, fmt.Errorf("solver: best-of has no inner solvers")
+	}
+	best := ising.Solution{Energy: math.Inf(1)}
+	rep := Report{Attempts: make([]Attempt, 0, len(s.Solvers))}
+	found := false
+	for i, inner := range s.Solvers {
+		ir := r.Split(uint64(i) + 1)
+		start := time.Now()
+		sol, innerRep, err := SolveIsingAttributed(inner, h, ir)
+		if err != nil {
+			rep.Attempts = append(rep.Attempts, Attempt{
+				Solver: inner.Name(), Nanos: time.Since(start).Nanoseconds(), Err: err.Error(),
+			})
+			continue
+		}
+		rep.Attempts = append(rep.Attempts, Attempt{
+			Solver: innerRep.Winner, Value: sol.Energy, Nanos: time.Since(start).Nanoseconds(),
+		})
+		if !found || sol.Energy < best.Energy {
+			best = sol
+			rep.Winner = innerRep.Winner
+			found = true
+		}
+	}
+	if !found {
+		return ising.Solution{}, Report{}, fmt.Errorf("solver: no best-of member has native Ising support")
+	}
+	return best, rep, nil
+}

@@ -1,0 +1,140 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"qaoa2/internal/graph"
+	"qaoa2/internal/ising"
+	"qaoa2/internal/maxcut"
+	"qaoa2/internal/qaoa"
+	"qaoa2/internal/rng"
+)
+
+// fieldHamiltonian is a small field-carrying instance with a known
+// ground state via brute force.
+func fieldHamiltonian(t *testing.T) (*ising.Hamiltonian, float64) {
+	t.Helper()
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4}} {
+		g.MustAddEdge(e[0], e[1], 1)
+	}
+	p, err := ising.WeightedMIS(g, []float64{2, 1, 1.5, 1, 2, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ground, err := p.H.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.H, ground
+}
+
+func TestIsingSolverImplementations(t *testing.T) {
+	h, ground := fieldHamiltonian(t)
+	for _, tc := range []struct {
+		name  string
+		s     Solver
+		exact bool // must hit the ground state
+	}{
+		{"exact", ExactSolver{}, true},
+		{"anneal", AnnealSolver{Opts: maxcut.AnnealOptions{Sweeps: 300}}, true},
+		{"qaoa", QAOASolver{Opts: qaoa.Options{Layers: 3, TopK: 8}}, false},
+		{"random", RandomSolver{Trials: 64}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			is, ok := tc.s.(IsingSolver)
+			if !ok {
+				t.Fatalf("%s does not implement IsingSolver", tc.name)
+			}
+			sol, err := is.SolveIsing(h, rng.New(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sol.Energy-h.Energy(sol.Spins)) > 1e-9 {
+				t.Fatalf("reported %g, assignment has %g", sol.Energy, h.Energy(sol.Spins))
+			}
+			if tc.exact && math.Abs(sol.Energy-ground) > 1e-9 {
+				t.Fatalf("energy %g, ground %g", sol.Energy, ground)
+			}
+			if sol.Energy < ground-1e-9 {
+				t.Fatalf("energy %g below ground %g", sol.Energy, ground)
+			}
+		})
+	}
+}
+
+func TestMaxCutOnlySolversRejectIsing(t *testing.T) {
+	h, _ := fieldHamiltonian(t)
+	for _, s := range []Solver{GWSolver{}, SDPGWSolver{}, OneExchangeSolver{}} {
+		if _, ok := s.(IsingSolver); ok {
+			t.Fatalf("%s unexpectedly claims Ising support", s.Name())
+		}
+		if _, _, err := SolveIsingAttributed(s, h, rng.New(1)); err == nil {
+			t.Fatalf("%s accepted an Ising Hamiltonian", s.Name())
+		}
+	}
+}
+
+func TestBestOfIsingAttribution(t *testing.T) {
+	h, ground := fieldHamiltonian(t)
+	// A mix of capable and incapable members: gw cannot play and must
+	// show up as a failed attempt, not abort the composite.
+	best := BestOfSolver{Solvers: []Solver{
+		GWSolver{},
+		ExactSolver{},
+		AnnealSolver{Opts: maxcut.AnnealOptions{Sweeps: 100}},
+	}}
+	sol, rep, err := best.SolveIsingAttributed(h, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Energy-ground) > 1e-9 {
+		t.Fatalf("best-of energy %g, ground %g", sol.Energy, ground)
+	}
+	if rep.Winner != "exact" {
+		t.Fatalf("winner %q, want exact (ties go to the earliest member)", rep.Winner)
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("%d attempts, want 3", len(rep.Attempts))
+	}
+	if rep.Attempts[0].Solver != "gw" || rep.Attempts[0].Err == "" {
+		t.Fatalf("gw attempt not recorded as failed: %+v", rep.Attempts[0])
+	}
+	for _, a := range rep.Attempts[1:] {
+		if a.Err != "" {
+			t.Fatalf("capable member errored: %+v", a)
+		}
+	}
+	// SolveIsing must return the identical solution.
+	sol2, err := best.SolveIsing(h, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Energy != sol.Energy {
+		t.Fatal("SolveIsing and SolveIsingAttributed disagree")
+	}
+	// All-incapable composite errors out.
+	if _, _, err := (BestOfSolver{Solvers: []Solver{GWSolver{}}}).SolveIsingAttributed(h, rng.New(1)); err == nil {
+		t.Fatal("composite with no capable member succeeded")
+	}
+}
+
+// TestRegistrySolversKeepIsingSupport pins which registry names come
+// out of Build with native Ising support — the dispatch contract
+// qaoa2.SolveIsing and the serve layer rely on.
+func TestRegistrySolversKeepIsingSupport(t *testing.T) {
+	native := map[string]bool{
+		"qaoa": true, "exact": true, "anneal": true, "random": true, "best": true,
+		"gw": false, "sdp-gw": false, "one-exchange": false, "rqaoa": false,
+	}
+	for name, want := range native {
+		s, err := Build(Spec{Name: name})
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		if _, ok := s.(IsingSolver); ok != want {
+			t.Fatalf("%s: IsingSolver = %v, want %v", name, ok, want)
+		}
+	}
+}

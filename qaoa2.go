@@ -31,6 +31,7 @@ import (
 	"qaoa2/internal/graph"
 	"qaoa2/internal/gw"
 	"qaoa2/internal/hpc"
+	"qaoa2/internal/ising"
 	"qaoa2/internal/maxcut"
 	"qaoa2/internal/paraminit"
 	"qaoa2/internal/qaoa"
@@ -214,6 +215,113 @@ func Solve(g *Graph, opts Options) (*Result, error) { return qaoa2.Solve(g, opts
 // for logs.
 func SummarizeSubReports(reports []SubReport) string {
 	return qaoa2.SummarizeSubReports(reports)
+}
+
+// Ising/QUBO workload plane (internal/ising; see DESIGN.md "The
+// Ising/QUBO plane"). General Ising Hamiltonians E(s) = Σ J_ij s_i s_j
+// + Σ h_i s_i + c compile into the same fused diagonal phase tables as
+// MaxCut, so every backend — including the Z2-reduced engine when
+// h ≡ 0 — executes them with zero kernel changes. First-class problem
+// constructors (weighted MIS, vertex cover, number partitioning) keep
+// the original instance data so results decode back to problem-level
+// answers with feasibility verdicts.
+type (
+	// IsingHamiltonian is a minimization Ising Hamiltonian over ±1
+	// spins: couplings J_ij, local fields h_i, constant offset.
+	IsingHamiltonian = ising.Hamiltonian
+	// IsingCoupling is one J_ij term.
+	IsingCoupling = ising.Coupling
+	// QUBO is the {0,1} quadratic form x^T Q x + c, exactly
+	// interconvertible with IsingHamiltonian (ToIsing / ToQUBO).
+	QUBO = ising.QUBO
+	// IsingSolution is a spin assignment with its energy — the Ising
+	// counterpart of Cut.
+	IsingSolution = ising.Solution
+	// IsingAnnealOptions configures AnnealIsing.
+	IsingAnnealOptions = ising.AnnealOptions
+	// Problem binds a Hamiltonian to the problem it encodes (kind,
+	// instance data) so assignments decode with feasibility checks.
+	Problem = ising.Problem
+	// Assignment is a decoded problem-level solution.
+	Assignment = ising.Assignment
+	// IsingResult reports a SolveIsing / SolveProblem run.
+	IsingResult = qaoa2.IsingResult
+	// IsingSubSolver is the optional native-Ising extension of
+	// SubSolver (implemented by qaoa, exact, anneal, random, best-of).
+	IsingSubSolver = solver.IsingSolver
+	// ProblemSpec is the wire form of an Ising/QUBO submission
+	// (SolveRequest.Problem); the daemon normalizes it to the ancilla
+	// MaxCut reduction and folds its canonical JSON into the job key.
+	ProblemSpec = serve.ProblemSpec
+	// CouplingSpec is one J_ij term of a raw-Ising ProblemSpec.
+	CouplingSpec = serve.CouplingSpec
+	// ProblemReport is the decoded problem-level answer attached to a
+	// JobResult for problem submissions.
+	ProblemReport = serve.ProblemReport
+)
+
+// Problem kinds (Problem.Kind / ProblemSpec.Kind; wire-stable).
+const (
+	KindIsing           = ising.KindIsing
+	KindMaxCut          = ising.KindMaxCut
+	KindMIS             = ising.KindMIS
+	KindVertexCover     = ising.KindVertexCover
+	KindNumberPartition = ising.KindNumberPartition
+)
+
+// MaxIsingExactSpins bounds GroundState / ExactSolver brute force.
+const MaxIsingExactSpins = ising.MaxExactSpins
+
+// NewIsing creates an empty Hamiltonian over n spins.
+func NewIsing(n int) *IsingHamiltonian { return ising.New(n) }
+
+// NewQUBO creates an empty QUBO over n binary variables.
+func NewQUBO(n int) *QUBO { return ising.NewQUBO(n) }
+
+// MaxCutProblem encodes MaxCut on g as the degenerate (field-free)
+// Ising case: minimizing E recovers the maximum cut exactly.
+func MaxCutProblem(g *Graph) (*Problem, error) { return ising.MaxCutProblem(g) }
+
+// WeightedMIS encodes maximum-weight independent set with penalty-
+// weighted conflict terms (penalty 0 picks a safe default).
+func WeightedMIS(g *Graph, weights []float64, penalty float64) (*Problem, error) {
+	return ising.WeightedMIS(g, weights, penalty)
+}
+
+// MinVertexCover encodes minimum vertex cover with penalty-weighted
+// coverage constraints (penalty 0 picks a safe default).
+func MinVertexCover(g *Graph, penalty float64) (*Problem, error) {
+	return ising.MinVertexCover(g, penalty)
+}
+
+// NumberPartition encodes two-way number partitioning of nums; the
+// decoded Objective is the imbalance |Σ s_i·a_i| (0 = perfect split).
+func NumberPartition(nums []float64) (*Problem, error) { return ising.NumberPartition(nums) }
+
+// ProblemFromHamiltonian wraps a raw Hamiltonian as a KindIsing
+// problem (objective = energy, always feasible).
+func ProblemFromHamiltonian(h *IsingHamiltonian) *Problem { return ising.FromHamiltonian(h) }
+
+// SolveIsing minimizes an Ising Hamiltonian through the QAOA² stack:
+// directly on the device when it fits and the solver speaks Ising
+// natively, otherwise via the exact ancilla MaxCut reduction through
+// the full divide-and-conquer (partitioning, checkpoints, attribution
+// all apply). The reported Energy always comes from the Hamiltonian.
+func SolveIsing(h *IsingHamiltonian, opts Options) (*IsingResult, error) {
+	return qaoa2.SolveIsing(h, opts)
+}
+
+// SolveProblem runs SolveIsing on p's Hamiltonian and decodes the
+// spins into a problem-level Assignment (objective, feasibility,
+// selected vertices).
+func SolveProblem(p *Problem, opts Options) (*IsingResult, Assignment, error) {
+	return qaoa2.SolveProblem(p, opts)
+}
+
+// AnnealIsing minimizes E(s) with single-spin-flip Metropolis
+// annealing — the classical baseline that handles fields natively.
+func AnnealIsing(h *IsingHamiltonian, opts IsingAnnealOptions, r *Rand) IsingSolution {
+	return ising.Anneal(h, opts, r)
 }
 
 // Solver registry (internal/solver): the single place solvers are

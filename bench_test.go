@@ -494,6 +494,21 @@ func BenchmarkBackendFusedFull(b *testing.B) {
 	benchmarkBackendEvaluate(b, root.FusedBackend{Full: true})
 }
 
+// BenchmarkBackendFusedDist measures the sharded fused engine at its
+// default four ranks — the intra-process model of the paper's
+// multi-node decomposition. Comm volume per evaluation is the closed
+// form layers·log2(ranks)·2^(n−log2(ranks))·16 bytes.
+func BenchmarkBackendFusedDist(b *testing.B) {
+	benchmarkBackendEvaluate(b, root.FusedDistBackend{Ranks: 4})
+}
+
+// BenchmarkBackendFusedDist1 measures the sharded engine degenerated
+// to a single rank: no exchanges, pure rank-local sweeps. The CI ratio
+// gate holds this near BenchmarkBackendFused cost.
+func BenchmarkBackendFusedDist1(b *testing.B) {
+	benchmarkBackendEvaluate(b, root.FusedDistBackend{Ranks: 1})
+}
+
 // BenchmarkBackendFusedBatch8 measures the batched multi-start API:
 // eight parameter vectors per EvaluateBatch call (ns/op is per batch;
 // per-eval is reported as a metric).

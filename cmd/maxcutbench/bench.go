@@ -32,12 +32,20 @@ type benchConfig struct {
 // shape as a dispatch-overhead sentinel, and a 20-qubit point where
 // the half-vector's memory advantage shows beyond the L2-resident
 // sizes.
+// The fused-dist points track the sharded engine: ranks=1 is the
+// degenerate single-slice configuration (held near fused-z2 cost by
+// the ratio gate — the sharding layer must cost nothing when not
+// sharding), ranks=4 measures the pairwise-exchange overhead at both
+// tracked qubit scales.
 var benchConfigs = []benchConfig{
 	{"fused-z2", 16, 3},
 	{"fused-full", 16, 3},
 	{"dense", 16, 3},
 	{"fused-z2", 12, 2},
 	{"fused-z2", 20, 3},
+	{"fused-dist:1", 16, 3},
+	{"fused-dist:4", 16, 3},
+	{"fused-dist:4", 20, 3},
 }
 
 // benchRounds is the best-of count for every measurement: the harness
@@ -79,6 +87,11 @@ type BenchMachine struct {
 	NumCPU     int    `json:"num_cpu"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	CPUModel   string `json:"cpu_model,omitempty"`
+	// KernelTier is the mixer-kernel tier runtime detection selected
+	// ("avx512", "avx2", "portable"). Part of the machine-class
+	// identity: the same silicon with QAOA2_NOAVX512=1 measures a
+	// different machine.
+	KernelTier string `json:"kernel_tier,omitempty"`
 }
 
 // BenchReport is the BENCH_<stamp>.json schema.
@@ -104,6 +117,7 @@ func runJSONBench(configs []benchConfig, withML bool) (BenchReport, string, erro
 			NumCPU:     runtime.NumCPU(),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			CPUModel:   cpuModel(),
+			KernelTier: root.KernelTier(),
 		},
 	}
 	for _, cfg := range configs {

@@ -90,19 +90,30 @@ func machineWarning(baseline, fresh BenchMachine) string {
 	if sameMachineClass(baseline, fresh) {
 		return ""
 	}
-	return fmt.Sprintf("WARNING: baseline machine (%s, %d CPU, GOMAXPROCS %d, %s) differs from this machine (%s, %d CPU, GOMAXPROCS %d, %s); absolute ns/op deltas are unreliable across machine classes — refresh the baseline from this hardware before trusting the gate\n",
-		baseline.CPUModel, baseline.NumCPU, baseline.GoMaxProcs, baseline.GoVersion,
-		fresh.CPUModel, fresh.NumCPU, fresh.GoMaxProcs, fresh.GoVersion)
+	return fmt.Sprintf("WARNING: baseline machine (%s, %d CPU, GOMAXPROCS %d, %s, kernel %s) differs from this machine (%s, %d CPU, GOMAXPROCS %d, %s, kernel %s); absolute ns/op deltas are unreliable across machine classes — refresh the baseline from this hardware before trusting the gate\n",
+		baseline.CPUModel, baseline.NumCPU, baseline.GoMaxProcs, baseline.GoVersion, tierOrUnknown(baseline.KernelTier),
+		fresh.CPUModel, fresh.NumCPU, fresh.GoMaxProcs, fresh.GoVersion, tierOrUnknown(fresh.KernelTier))
+}
+
+// tierOrUnknown labels reports from before the kernel-tier field.
+func tierOrUnknown(tier string) string {
+	if tier == "" {
+		return "unknown"
+	}
+	return tier
 }
 
 // sameMachineClass compares the hardware-identity fields (Go version
 // alone does not change the class). GOMAXPROCS counts as identity:
 // the kernel pool sizes itself from it, so the same silicon with a
-// different processor budget measures a different machine.
+// different processor budget measures a different machine. So does the
+// mixer-kernel tier: QAOA2_NOAVX512/QAOA2_NOASM change what the same
+// silicon measures. Pre-tier baselines (empty field) grandfather in.
 func sameMachineClass(a, b BenchMachine) bool {
 	return a.GoOS == b.GoOS && a.GoArch == b.GoArch &&
 		a.NumCPU == b.NumCPU && a.GoMaxProcs == b.GoMaxProcs &&
-		a.CPUModel == b.CPUModel
+		a.CPUModel == b.CPUModel &&
+		(a.KernelTier == b.KernelTier || a.KernelTier == "" || b.KernelTier == "")
 }
 
 // gateOutcome decides the gate's exit disposition. A configuration
@@ -135,14 +146,28 @@ const (
 	// dense gate walk since the backend-layer PR.
 	fusedDenseMinRatio = 3.0
 	// z2FullMinRatio: the Z2 symmetry reduction's acceptance floor over
-	// the unreduced fused engine — measured ~1.8× at 16q p=3.
-	z2FullMinRatio = 1.7
+	// the unreduced fused engine — measured ~1.8× at 16q p=3 on the
+	// AVX2 tier, ~1.7–1.8× on the AVX-512 tier (the ZMM kernel
+	// accelerates the unreduced engine's longer sweeps slightly more,
+	// compressing the ratio). The floor sits below that band's noise;
+	// losing the reduction entirely would read ~1.0×.
+	z2FullMinRatio = 1.5
+	// distZ2MaxRatio: the sharded engine at ranks=1 degenerates to a
+	// single-slice fused sweep, so its only cost over fused-z2 is the
+	// rank-goroutine handoff — measured ≈1.0–1.1× (the residual is
+	// binary code-layout luck, not algorithm: the same pair measures
+	// 0.99× in one binary and 1.12× in another). The ceiling leaves
+	// headroom for that noise; a sharding layer that actually stopped
+	// being free would land far beyond it.
+	distZ2MaxRatio = 1.25
 )
 
 // ratioGate checks the fused-z2-vs-dense and fused-z2-vs-fused-full
-// ratios on the 16q/p3 acceptance configuration of the fresh run.
+// ratios on the 16q/p3 acceptance configuration of the fresh run, plus
+// — when the sharded engine was measured — the fused-dist:1 overhead
+// ceiling over fused-z2.
 func ratioGate(fresh BenchReport) (ok bool, msg string) {
-	var z2, full, dense float64
+	var z2, full, dense, dist1 float64
 	for _, r := range fresh.Results {
 		if r.Qubits == 16 && r.Layers == 3 {
 			switch r.Backend {
@@ -152,6 +177,8 @@ func ratioGate(fresh BenchReport) (ok bool, msg string) {
 				full = r.NsPerOp
 			case "dense":
 				dense = r.NsPerOp
+			case "fused-dist:1":
+				dist1 = r.NsPerOp
 			}
 		}
 	}
@@ -166,7 +193,15 @@ func ratioGate(fresh BenchReport) (ok bool, msg string) {
 	if z2Ratio < z2FullMinRatio {
 		return false, fmt.Sprintf("ratio gate FAILED: fused-z2 is only %.2fx faster than fused-full (floor %.1fx) — symmetry-reduction regression, independent of baseline hardware", z2Ratio, z2FullMinRatio)
 	}
-	return true, fmt.Sprintf("ratio gate: fused-z2 %.1fx faster than dense (floor %.0fx), %.2fx faster than fused-full (floor %.1fx)", denseRatio, fusedDenseMinRatio, z2Ratio, z2FullMinRatio)
+	distNote := ""
+	if dist1 > 0 {
+		distRatio := dist1 / z2
+		if distRatio > distZ2MaxRatio {
+			return false, fmt.Sprintf("ratio gate FAILED: fused-dist:1 costs %.2fx fused-z2 (ceiling %.2fx) — the sharding layer must be free when not sharding, independent of baseline hardware", distRatio, distZ2MaxRatio)
+		}
+		distNote = fmt.Sprintf(", fused-dist:1 at %.2fx fused-z2 (ceiling %.2fx)", distRatio, distZ2MaxRatio)
+	}
+	return true, fmt.Sprintf("ratio gate: fused-z2 %.1fx faster than dense (floor %.0fx), %.2fx faster than fused-full (floor %.1fx)%s", denseRatio, fusedDenseMinRatio, z2Ratio, z2FullMinRatio, distNote)
 }
 
 // countMissing tallies baseline configurations absent from the fresh

@@ -172,7 +172,7 @@ func TestGateOutcome(t *testing.T) {
 func TestRatioGate(t *testing.T) {
 	healthy := report(map[string]float64{
 		"fused-z2/16q/p3":   1_000_000,
-		"fused-full/16q/p3": 1_900_000,  // 1.9x ≥ 1.7x floor
+		"fused-full/16q/p3": 1_900_000,  // 1.9x ≥ 1.5x floor
 		"dense/16q/p3":      30_000_000, // 30x ≥ 3x floor
 	})
 	if ok, msg := ratioGate(healthy); !ok {
@@ -190,7 +190,7 @@ func TestRatioGate(t *testing.T) {
 	// dense ratio is healthy.
 	slowVsFull := report(map[string]float64{
 		"fused-z2/16q/p3":   1_500_000,
-		"fused-full/16q/p3": 1_900_000, // 1.27x < 1.7x floor
+		"fused-full/16q/p3": 1_900_000, // 1.27x < 1.5x floor
 		"dense/16q/p3":      30_000_000,
 	})
 	if ok, msg := ratioGate(slowVsFull); ok || !strings.Contains(msg, "fused-full") {
@@ -214,5 +214,45 @@ func TestCountMissing(t *testing.T) {
 	}
 	if got := countMissing(nil); got != 0 {
 		t.Fatalf("countMissing(nil) = %d, want 0", got)
+	}
+}
+
+func TestRatioGateFusedDist(t *testing.T) {
+	healthy := map[string]float64{
+		"fused-z2/16q/p3":   1_000_000,
+		"fused-full/16q/p3": 1_900_000,
+		"dense/16q/p3":      30_000_000,
+	}
+	// Within the 10% ceiling: passes and the message reports the ratio.
+	healthy["fused-dist:1/16q/p3"] = 1_050_000
+	if ok, msg := ratioGate(report(healthy)); !ok || !strings.Contains(msg, "fused-dist:1") {
+		t.Fatalf("1.05x dist ratio failed: %s", msg)
+	}
+	// Beyond the ceiling: the sharding layer started costing something.
+	healthy["fused-dist:1/16q/p3"] = 1_500_000
+	if ok, msg := ratioGate(report(healthy)); ok || !strings.Contains(msg, "fused-dist:1") {
+		t.Fatalf("1.2x dist ratio passed: %s", msg)
+	}
+	// Absent measurement (A/B subsets) leaves the classic gate intact.
+	delete(healthy, "fused-dist:1/16q/p3")
+	if ok, msg := ratioGate(report(healthy)); !ok {
+		t.Fatalf("dist-free run failed: %s", msg)
+	}
+}
+
+func TestMachineClassKernelTier(t *testing.T) {
+	a := BenchMachine{GoOS: "linux", GoArch: "amd64", NumCPU: 1, GoMaxProcs: 1, CPUModel: "Xeon", KernelTier: "avx512"}
+	b := a
+	b.KernelTier = "avx2"
+	if sameMachineClass(a, b) {
+		t.Fatal("different kernel tiers counted as the same machine class")
+	}
+	if w := machineWarning(a, b); !strings.Contains(w, "avx512") || !strings.Contains(w, "avx2") {
+		t.Fatalf("tier mismatch warning: %q", w)
+	}
+	// Pre-tier baselines (no kernel_tier field) grandfather in.
+	b.KernelTier = ""
+	if !sameMachineClass(a, b) {
+		t.Fatal("pre-tier baseline did not grandfather in")
 	}
 }

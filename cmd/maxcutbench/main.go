@@ -15,6 +15,9 @@
 //	                       # A/B: benchmark exactly these backends (16q p=3)
 //	maxcutbench -backend fused-z2,fused-full -qubits 20
 //	                       # same A/B at the 20-qubit scale point
+//	maxcutbench -cpufeatures
+//	                       # print the mixer-kernel tier (avx512/avx2/
+//	                       # portable) and env opt-outs in effect
 //	maxcutbench -instance petersen
 //	                       # solve an embedded benchmark fixture
 //	maxcutbench -instance g14 -gset-dir ~/gset
@@ -30,10 +33,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 
+	root "qaoa2"
 	"qaoa2/internal/experiments"
 )
 
@@ -56,8 +61,14 @@ func main() {
 		fleetPath = flag.String("fleet", "", "gate a cmd/fleetload bench record (qaoa2-fleetload/v1): bit-identity with the reference, failover activity on kill soaks, and bounded latency vs -fleet-baseline")
 		fleetBase = flag.String("fleet-baseline", "", "baseline fleetload record for the latency leg of -fleet")
 		fleetTol  = flag.Float64("fleet-tolerance", 100, "allowed p90 latency growth in percent for -fleet-baseline")
+		features  = flag.Bool("cpufeatures", false, "print the mixer-kernel tier runtime detection selected and the environment opt-outs in effect, then exit")
 	)
 	flag.Parse()
+
+	if *features {
+		printCPUFeatures(os.Stdout)
+		return
+	}
 
 	if *fleetPath != "" {
 		fresh, err := loadFleetReport(*fleetPath)
@@ -165,4 +176,24 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderFig4(rows))
+}
+
+// printCPUFeatures reports the mixer-kernel tier that runtime CPUID and
+// XGETBV detection selected for this process, plus the environment
+// opt-outs that can force lower tiers. The tier is part of the bench
+// machine-class identity (BENCH_*.json), so operators comparing runs
+// across machines check this first.
+func printCPUFeatures(w io.Writer) {
+	fmt.Fprintf(w, "kernel tier: %s\n", root.KernelTier())
+	for _, v := range []struct{ name, effect string }{
+		{"QAOA2_NOASM", "disables all assembly kernels (portable tier)"},
+		{"QAOA2_NOAVX512", "disables the AVX-512 tile kernel (AVX2 tier)"},
+		{"QAOA2_NOZ2", "disables the Z2 symmetry reduction"},
+	} {
+		state := "unset"
+		if os.Getenv(v.name) != "" {
+			state = "SET"
+		}
+		fmt.Fprintf(w, "%-16s %-5s — %s\n", v.name, state, v.effect)
+	}
 }

@@ -29,6 +29,8 @@ package backend
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"qaoa2/internal/graph"
 	"qaoa2/internal/qsim"
@@ -146,7 +148,9 @@ func Default(prefs synth.Preferences) Backend {
 // Default rule at solve time (represented as a nil Backend). "fused"
 // and its explicit alias "fused-z2" run the symmetry-reduced fast path;
 // "fused-full" is the unreduced engine, kept addressable for A/B
-// benchmarking against the reduction.
+// benchmarking against the reduction. "fused-dist" is the sharded
+// engine over the in-process comm world at the default rank count;
+// "fused-dist:N" selects N ranks (a power of two).
 func ByName(name string) (Backend, error) {
 	switch name {
 	case "":
@@ -155,13 +159,21 @@ func ByName(name string) (Backend, error) {
 		return Fused{}, nil
 	case "fused-full":
 		return Fused{Full: true}, nil
+	case "fused-dist":
+		return FusedDist{}, nil
 	case "dense":
 		return Dense{}, nil
 	case "noisy":
 		return Noisy{}, nil
-	default:
-		return nil, fmt.Errorf("backend: unknown backend %q (want fused|fused-z2|fused-full|dense|noisy)", name)
 	}
+	if rest, ok := strings.CutPrefix(name, "fused-dist:"); ok {
+		ranks, err := strconv.Atoi(rest)
+		if err != nil || ranks < 1 || ranks&(ranks-1) != 0 {
+			return nil, fmt.Errorf("backend: fused-dist rank count %q must be a power of two ≥ 1", rest)
+		}
+		return FusedDist{Ranks: ranks}, nil
+	}
+	return nil, fmt.Errorf("backend: unknown backend %q (want fused|fused-z2|fused-full|fused-dist[:ranks]|dense|noisy)", name)
 }
 
 // CutTable returns the diagonal of H_C in the computational basis:

@@ -221,6 +221,28 @@ func TestRunScalingTrafficModel(t *testing.T) {
 	}
 }
 
+func TestRunEngineScalingTrafficModel(t *testing.T) {
+	points, err := RunEngineScaling(10, 2, []int{1, 2, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points %d", len(points))
+	}
+	// Single rank never communicates; more ranks only add traffic (the
+	// per-evaluation exchange volume follows CommBytesExpected).
+	if points[0].Messages != 0 || points[0].Bytes != 0 {
+		t.Fatalf("1 rank sent traffic: %+v", points[0])
+	}
+	if points[2].Messages <= points[1].Messages {
+		t.Fatalf("messages not growing with ranks: %+v", points)
+	}
+	out := RenderEngineScaling(points)
+	if !strings.Contains(out, "fused-dist") {
+		t.Fatalf("engine scaling render:\n%s", out)
+	}
+}
+
 func TestRunGWScalingBothMethods(t *testing.T) {
 	points, err := RunGWScaling([]int{30, 150}, 8)
 	if err != nil {

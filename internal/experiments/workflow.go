@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qaoa2/internal/backend"
 	"qaoa2/internal/circuit"
 	"qaoa2/internal/graph"
 	"qaoa2/internal/gw"
@@ -213,6 +214,72 @@ func RenderScaling(points []ScalingPoint) string {
 		})
 	}
 	return RenderTable("Distributed statevector scaling (cache-blocking ranks)", header, rows)
+}
+
+// RunEngineScaling is the sharded-engine counterpart of RunScaling: the
+// same fixed-size graph evaluated through the fused-dist backend
+// (qsim.DistEngine) at every rank count, measuring per-evaluation wall
+// time and the exchange traffic of the global-qubit mixer rotations.
+// Unlike the gate-walk DistState sweep, diagonal cost layers here never
+// communicate, so the traffic column isolates the mixer's pairwise
+// slice exchanges — the quantity the closed form
+// DistStats.CommBytesExpected predicts. Rank counts must be powers of
+// two; they are clamped per the fused-dist backend rules.
+func RunEngineScaling(qubits, layers int, ranks []int, seed uint64) ([]ScalingPoint, error) {
+	r := rng.New(seed)
+	g := graph.ErdosRenyi(qubits, 0.3, graph.Unweighted, r)
+	gammas, betas := make([]float64, layers), make([]float64, layers)
+	for i := range gammas {
+		gammas[i] = 0.4
+		betas[i] = 0.3
+	}
+	var out []ScalingPoint
+	for _, rk := range ranks {
+		ans, err := backend.FusedDist{Ranks: rk}.Prepare(g, backend.Config{Layers: layers})
+		if err != nil {
+			return nil, err
+		}
+		// Warm-up evaluation: engine goroutines park, buffers settle.
+		if _, _, err := ans.Evaluate(gammas, betas); err != nil {
+			return nil, err
+		}
+		const reps = 3
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			if _, _, err := ans.Evaluate(gammas, betas); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start).Seconds() / reps
+		stats := ans.(interface{ Stats() qsim.DistStats }).Stats()
+		total := reps + 1 // stats are cumulative across evaluations
+		out = append(out, ScalingPoint{
+			Ranks:     rk,
+			Qubits:    qubits,
+			Seconds:   elapsed,
+			CommGates: stats.CommGates / total,
+			Messages:  stats.MessagesSent / total,
+			Bytes:     stats.BytesSent / uint64(total),
+		})
+	}
+	return out, nil
+}
+
+// RenderEngineScaling tabulates the sharded fused-engine scaling run.
+func RenderEngineScaling(points []ScalingPoint) string {
+	header := []string{"ranks", "qubits", "sec/eval", "comm sweeps", "messages", "bytes"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Ranks),
+			fmt.Sprintf("%d", p.Qubits),
+			fmt.Sprintf("%.4f", p.Seconds),
+			fmt.Sprintf("%d", p.CommGates),
+			fmt.Sprintf("%d", p.Messages),
+			fmt.Sprintf("%d", p.Bytes),
+		})
+	}
+	return RenderTable("Sharded fused engine strong scaling (fused-dist ranks)", header, rows)
 }
 
 // GWScalePoint is one size of the GW complexity measurement (§3.4's

@@ -4,209 +4,27 @@
 // Fig. 2, and a discrete-event SLURM-like scheduler (sched.go) that
 // models MPMD and heterogeneous jobs, exclusive quantum-device access
 // and the idle-time behaviour of Fig. 1.
+//
+// The communicator itself lives in the leaf package hpc/comm so that
+// internal/qsim's sharded engine can use it without an import cycle;
+// the aliases below keep the historical hpc.World/hpc.Comm API intact.
 package hpc
 
-import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-)
-
-// message is one point-to-point transfer.
-type message struct {
-	from, tag int
-	payload   interface{}
-	bytes     int
-}
+import "qaoa2/internal/hpc/comm"
 
 // World is a fixed-size group of ranks exchanging messages over
 // in-process channels; the analogue of MPI_COMM_WORLD.
-type World struct {
-	size  int
-	boxes []chan message // one inbox per rank
-	// pending holds messages received but not yet matched by tag/source.
-	pending [][]message
-	barrier *reusableBarrier
-
-	msgCount  atomic.Int64
-	byteCount atomic.Int64
-}
+type World = comm.World
 
 // WorldStats aggregates communication traffic.
-type WorldStats struct {
-	Messages int64
-	Bytes    int64
-}
-
-// NewWorld creates a communicator with the given number of ranks
-// (size ≥ 1). Inboxes are buffered so senders do not block on slow
-// receivers, matching MPI's eager protocol for small messages.
-func NewWorld(size int) (*World, error) {
-	if size < 1 {
-		return nil, fmt.Errorf("hpc: world size %d < 1", size)
-	}
-	w := &World{
-		size:    size,
-		boxes:   make([]chan message, size),
-		pending: make([][]message, size),
-		barrier: newReusableBarrier(size),
-	}
-	for i := range w.boxes {
-		w.boxes[i] = make(chan message, 1024)
-	}
-	return w, nil
-}
-
-// Size returns the number of ranks.
-func (w *World) Size() int { return w.size }
-
-// Stats returns a traffic snapshot.
-func (w *World) Stats() WorldStats {
-	return WorldStats{Messages: w.msgCount.Load(), Bytes: w.byteCount.Load()}
-}
-
-// Run executes body once per rank in its own goroutine and blocks until
-// every rank returns. The first panic (if any) is re-raised after all
-// goroutines finish, so tests fail cleanly.
-func (w *World) Run(body func(c *Comm)) {
-	var wg sync.WaitGroup
-	panics := make(chan interface{}, w.size)
-	for r := 0; r < w.size; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics <- p
-				}
-			}()
-			body(&Comm{world: w, rank: rank})
-		}(r)
-	}
-	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
-	}
-}
+type WorldStats = comm.WorldStats
 
 // Comm is one rank's handle on the world.
-type Comm struct {
-	world *World
-	rank  int
-}
-
-// Rank returns this rank's id in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
-
-// Size returns the world size.
-func (c *Comm) Size() int { return c.world.size }
+type Comm = comm.Comm
 
 // AnySource matches messages from any sender in Recv.
-const AnySource = -1
+const AnySource = comm.AnySource
 
-// Send delivers payload to rank `to` with a tag. bytes is the accounted
-// payload size for the traffic statistics (pass 0 when irrelevant).
-func (c *Comm) Send(to, tag int, payload interface{}, bytes int) {
-	if to < 0 || to >= c.world.size {
-		panic(fmt.Sprintf("hpc: Send to invalid rank %d", to))
-	}
-	c.world.msgCount.Add(1)
-	c.world.byteCount.Add(int64(bytes))
-	c.world.boxes[to] <- message{from: c.rank, tag: tag, payload: payload, bytes: bytes}
-}
-
-// Recv blocks until a message with the given source (or AnySource) and
-// tag arrives, returning its payload and actual source. Out-of-order
-// messages are buffered, so interleaved tags between the same pair of
-// ranks cannot deadlock.
-func (c *Comm) Recv(from, tag int) (payload interface{}, source int) {
-	// Check buffered messages first.
-	pend := c.world.pending[c.rank]
-	for i, m := range pend {
-		if (from == AnySource || m.from == from) && m.tag == tag {
-			c.world.pending[c.rank] = append(pend[:i:i], pend[i+1:]...)
-			return m.payload, m.from
-		}
-	}
-	for {
-		m := <-c.world.boxes[c.rank]
-		if (from == AnySource || m.from == from) && m.tag == tag {
-			return m.payload, m.from
-		}
-		c.world.pending[c.rank] = append(c.world.pending[c.rank], m)
-	}
-}
-
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.world.barrier.wait() }
-
-// tagInternal offsets library-internal collective tags away from user
-// tags.
-const tagInternal = 1 << 30
-
-// Bcast distributes root's value to every rank and returns it (the
-// caller passes its local value; non-roots pass nil).
-func (c *Comm) Bcast(root int, value interface{}, bytes int) interface{} {
-	if c.rank == root {
-		for r := 0; r < c.world.size; r++ {
-			if r != root {
-				c.Send(r, tagInternal, value, bytes)
-			}
-		}
-		return value
-	}
-	v, _ := c.Recv(root, tagInternal)
-	return v
-}
-
-// Gather collects one value per rank at root, in rank order. Non-root
-// callers receive nil.
-func (c *Comm) Gather(root int, value interface{}, bytes int) []interface{} {
-	if c.rank != root {
-		c.Send(root, tagInternal+1, value, bytes)
-		return nil
-	}
-	out := make([]interface{}, c.world.size)
-	out[c.rank] = value
-	for r := 0; r < c.world.size; r++ {
-		if r == root {
-			continue
-		}
-		v, _ := c.Recv(r, tagInternal+1)
-		out[r] = v
-	}
-	return out
-}
-
-// reusableBarrier is a two-phase sense-reversing barrier.
-type reusableBarrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	size    int
-	arrived int
-	phase   int
-}
-
-func newReusableBarrier(size int) *reusableBarrier {
-	b := &reusableBarrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *reusableBarrier) wait() {
-	b.mu.Lock()
-	phase := b.phase
-	b.arrived++
-	if b.arrived == b.size {
-		b.arrived = 0
-		b.phase++
-		b.cond.Broadcast()
-	} else {
-		for phase == b.phase {
-			b.cond.Wait()
-		}
-	}
-	b.mu.Unlock()
-}
+// NewWorld creates a communicator with the given number of ranks
+// (size ≥ 1).
+func NewWorld(size int) (*World, error) { return comm.NewWorld(size) }

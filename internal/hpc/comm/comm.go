@@ -1,0 +1,253 @@
+// Package comm is the in-process MPI-like communicator (mpi4py
+// substitute) underlying the hpc layer: fixed-size rank worlds, tagged
+// point-to-point messaging with traffic accounting, and collectives.
+// It lives in its own leaf package so low-level consumers — notably the
+// sharded statevector engine in internal/qsim — can exchange slices
+// over a World without importing the full hpc scheduling/remote stack
+// (which itself depends on the solver plane and hence on qsim).
+// Package hpc aliases every name here, so hpc-level callers are
+// unaffected.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one point-to-point transfer.
+type message struct {
+	from, tag int
+	payload   interface{}
+	bytes     int
+}
+
+// World is a fixed-size group of ranks exchanging messages over
+// in-process channels; the analogue of MPI_COMM_WORLD.
+type World struct {
+	size  int
+	boxes []chan message // one inbox per rank
+	// pending holds messages received but not yet matched by tag/source.
+	pending [][]message
+	barrier *reusableBarrier
+
+	msgCount  atomic.Int64
+	byteCount atomic.Int64
+}
+
+// WorldStats aggregates communication traffic.
+type WorldStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// NewWorld creates a communicator with the given number of ranks
+// (size ≥ 1). Inboxes are buffered so senders do not block on slow
+// receivers, matching MPI's eager protocol for small messages.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("hpc: world size %d < 1", size)
+	}
+	w := &World{
+		size:    size,
+		boxes:   make([]chan message, size),
+		pending: make([][]message, size),
+		barrier: newReusableBarrier(size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = make(chan message, 1024)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns a traffic snapshot.
+func (w *World) Stats() WorldStats {
+	return WorldStats{Messages: w.msgCount.Load(), Bytes: w.byteCount.Load()}
+}
+
+// Run executes body once per rank in its own goroutine and blocks until
+// every rank returns. The first panic (if any) is re-raised after all
+// goroutines finish, so tests fail cleanly.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// Rank returns a communicator handle for rank r without running a
+// collective body: long-lived per-rank workers (the sharded statevector
+// engine's rank goroutines) hold their handles across many exchanges
+// instead of re-entering Run for every superstep.
+func (w *World) Rank(r int) (*Comm, error) {
+	if r < 0 || r >= w.size {
+		return nil, fmt.Errorf("hpc: rank %d outside world of size %d", r, w.size)
+	}
+	return &Comm{world: w, rank: r}, nil
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// AnySource matches messages from any sender in Recv.
+const AnySource = -1
+
+// Send delivers payload to rank `to` with a tag. bytes is the accounted
+// payload size for the traffic statistics (pass 0 when irrelevant).
+func (c *Comm) Send(to, tag int, payload interface{}, bytes int) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("hpc: Send to invalid rank %d", to))
+	}
+	c.world.msgCount.Add(1)
+	c.world.byteCount.Add(int64(bytes))
+	c.world.boxes[to] <- message{from: c.rank, tag: tag, payload: payload, bytes: bytes}
+}
+
+// Recv blocks until a message with the given source (or AnySource) and
+// tag arrives, returning its payload and actual source. Out-of-order
+// messages are buffered, so interleaved tags between the same pair of
+// ranks cannot deadlock.
+func (c *Comm) Recv(from, tag int) (payload interface{}, source int) {
+	// Check buffered messages first.
+	pend := c.world.pending[c.rank]
+	for i, m := range pend {
+		if (from == AnySource || m.from == from) && m.tag == tag {
+			c.world.pending[c.rank] = append(pend[:i:i], pend[i+1:]...)
+			return m.payload, m.from
+		}
+	}
+	for {
+		m := <-c.world.boxes[c.rank]
+		if (from == AnySource || m.from == from) && m.tag == tag {
+			return m.payload, m.from
+		}
+		c.world.pending[c.rank] = append(c.world.pending[c.rank], m)
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.world.barrier.wait() }
+
+// ExchangeSlices swaps amplitude slices with a partner rank: send goes
+// to partner, partner's slice is copied into recv, and a world barrier
+// separates the round — on return every rank's send buffer is safe to
+// mutate again. The in-process transfer passes the send slice by
+// reference and the receiver copies it out, so the accounted traffic
+// (16 bytes per amplitude, both directions counted at their senders) is
+// exactly what an MPI_Sendrecv of the slice would move.
+//
+// ExchangeSlices is a COLLECTIVE over the whole world: every rank must
+// call it in the same round (with partner pairings forming a perfect
+// matching), or the barrier deadlocks.
+func (c *Comm) ExchangeSlices(partner, tag int, send, recv []complex128) {
+	c.Send(partner, tag, send, 16*len(send))
+	payload, _ := c.Recv(partner, tag)
+	data, ok := payload.([]complex128)
+	if !ok {
+		panic(fmt.Sprintf("hpc: rank %d slice exchange with %d received %T, want []complex128",
+			c.rank, partner, payload))
+	}
+	if len(data) != len(recv) {
+		panic(fmt.Sprintf("hpc: rank %d slice exchange with %d received %d amplitudes, want %d",
+			c.rank, partner, len(data), len(recv)))
+	}
+	copy(recv, data)
+	c.Barrier()
+}
+
+// tagInternal offsets library-internal collective tags away from user
+// tags.
+const tagInternal = 1 << 30
+
+// Bcast distributes root's value to every rank and returns it (the
+// caller passes its local value; non-roots pass nil).
+func (c *Comm) Bcast(root int, value interface{}, bytes int) interface{} {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tagInternal, value, bytes)
+			}
+		}
+		return value
+	}
+	v, _ := c.Recv(root, tagInternal)
+	return v
+}
+
+// Gather collects one value per rank at root, in rank order. Non-root
+// callers receive nil.
+func (c *Comm) Gather(root int, value interface{}, bytes int) []interface{} {
+	if c.rank != root {
+		c.Send(root, tagInternal+1, value, bytes)
+		return nil
+	}
+	out := make([]interface{}, c.world.size)
+	out[c.rank] = value
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		v, _ := c.Recv(r, tagInternal+1)
+		out[r] = v
+	}
+	return out
+}
+
+// reusableBarrier is a two-phase sense-reversing barrier.
+type reusableBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	phase   int
+}
+
+func newReusableBarrier(size int) *reusableBarrier {
+	b := &reusableBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *reusableBarrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.arrived++
+	if b.arrived == b.size {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,4 +1,4 @@
-package hpc
+package comm
 
 import (
 	"sync/atomic"
@@ -170,5 +170,86 @@ func TestSendValidatesRank(t *testing.T) {
 		if c.Rank() == 0 {
 			c.Send(5, 1, nil, 0)
 		}
+	})
+}
+
+func TestRankHandle(t *testing.T) {
+	w, _ := NewWorld(3)
+	for _, bad := range []int{-1, 3} {
+		if _, err := w.Rank(bad); err == nil {
+			t.Fatalf("rank %d accepted", bad)
+		}
+	}
+	c1, err := w.Rank(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Rank() != 1 || c1.Size() != 3 {
+		t.Fatalf("handle rank=%d size=%d", c1.Rank(), c1.Size())
+	}
+	// A long-lived handle interoperates with Run-scoped communicators.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, src := c1.Recv(0, 9)
+		if v.(string) != "hello" || src != 0 {
+			t.Errorf("handle got %v from %d", v, src)
+		}
+	}()
+	c0, err := w.Rank(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0.Send(1, 9, "hello", 5)
+	<-done
+}
+
+// TestExchangeSlices drives one hypercube exchange round over 4 ranks
+// and verifies payload delivery, post-barrier reuse safety, and exact
+// traffic accounting (16 bytes per amplitude, both directions).
+func TestExchangeSlices(t *testing.T) {
+	const ranks, n = 4, 8
+	w, _ := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		send := make([]complex128, n)
+		recv := make([]complex128, n)
+		for i := range send {
+			send[i] = complex(float64(c.Rank()), float64(i))
+		}
+		// Round 1: partner = rank ^ 1; round 2: partner = rank ^ 2.
+		for _, bit := range []int{1, 2} {
+			partner := c.Rank() ^ bit
+			c.ExchangeSlices(partner, 3, send, recv)
+			for i, v := range recv {
+				if v != complex(float64(partner), float64(i)) {
+					t.Errorf("rank %d round %d: recv[%d] = %v", c.Rank(), bit, i, v)
+				}
+			}
+			// The barrier inside ExchangeSlices makes the send buffer
+			// safe to overwrite between rounds.
+			copy(send, recv)
+			for i := range send {
+				send[i] = complex(float64(c.Rank()), float64(i))
+			}
+		}
+	})
+	stats := w.Stats()
+	wantMsgs := int64(2 * ranks) // every rank sends once per round
+	wantBytes := wantMsgs * n * 16
+	if stats.Messages != wantMsgs || stats.Bytes != wantBytes {
+		t.Fatalf("stats %+v, want %d msgs / %d bytes", stats, wantMsgs, wantBytes)
+	}
+}
+
+func TestExchangeSlicesLengthMismatchPanics(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		buf := make([]complex128, 4+c.Rank()) // ranks disagree on length
+		c.ExchangeSlices(c.Rank()^1, 1, buf, buf)
 	})
 }

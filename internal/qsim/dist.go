@@ -37,17 +37,17 @@ type DistState struct {
 // NewDistPlusState builds the |+⟩^⊗n state over 2^p ranks.
 func NewDistPlusState(n, ranks int) (*DistState, error) {
 	if n < 1 || n > MaxQubits {
-		return nil, fmt.Errorf("qsim: qubit count %d outside [1,%d]", n, MaxQubits)
+		return nil, fmt.Errorf("qsim: dist state qubit count %d outside [1,%d]", n, MaxQubits)
 	}
 	p := 0
 	for 1<<uint(p) < ranks {
 		p++
 	}
 	if 1<<uint(p) != ranks || ranks < 1 {
-		return nil, fmt.Errorf("qsim: rank count %d is not a power of two", ranks)
+		return nil, fmt.Errorf("qsim: dist state rank count %d is not a power of two", ranks)
 	}
 	if p >= n {
-		return nil, fmt.Errorf("qsim: %d ranks need more than %d qubits", ranks, n)
+		return nil, fmt.Errorf("qsim: %d ranks over %d qubits leave no slice-local qubits (need ranks < 2^n)", ranks, n)
 	}
 	d := &DistState{n: n, p: p, local: n - p}
 	sliceLen := 1 << uint(d.local)
@@ -132,7 +132,7 @@ func (d *DistState) globalBit(q int) int {
 
 func (d *DistState) checkQubit(q int) {
 	if q < 0 || q >= d.n {
-		panic(fmt.Sprintf("qsim: qubit %d out of range [0,%d)", q, d.n))
+		panic(fmt.Sprintf("qsim: dist qubit %d out of range [0,%d) on %d-qubit %d-rank state", q, d.n, d.n, len(d.slices)))
 	}
 }
 
@@ -247,7 +247,7 @@ func (d *DistState) ApplyRZZ(q1, q2 int, theta float64) {
 	d.checkQubit(q1)
 	d.checkQubit(q2)
 	if q1 == q2 {
-		panic("qsim: RZZ on identical qubits")
+		panic(fmt.Sprintf("qsim: dist RZZ on identical qubits (q=%d)", q1))
 	}
 	same := cmplx.Exp(complex(0, -theta/2))
 	diff := cmplx.Exp(complex(0, theta/2))
@@ -264,7 +264,7 @@ func (d *DistState) ApplyCZ(q1, q2 int) {
 	d.checkQubit(q1)
 	d.checkQubit(q2)
 	if q1 == q2 {
-		panic("qsim: CZ on identical qubits")
+		panic(fmt.Sprintf("qsim: dist CZ on identical qubits (q=%d)", q1))
 	}
 	d.applyDiagonal(func(global uint64) complex128 {
 		if global>>uint(q1)&1 == 1 && global>>uint(q2)&1 == 1 {
@@ -292,7 +292,7 @@ func (d *DistState) ApplyCNOT(control, target int) {
 	d.checkQubit(control)
 	d.checkQubit(target)
 	if control == target {
-		panic("qsim: CNOT with control == target")
+		panic(fmt.Sprintf("qsim: dist CNOT with control == target (q=%d)", control))
 	}
 	cg, tg := d.globalBit(control), d.globalBit(target)
 	switch {

@@ -133,10 +133,34 @@ func (s *State) parForTiles(tiles, tileLen int, body func(start, end int)) {
 // must be powers of two, len(buf) ≥ 2·h0; c = cos(θ/2), sn = sin(θ/2).
 func rxTile(buf []complex128, h0 int, c, sn float64) {
 	if useMixerAsm {
-		rxTileAsm(&buf[0], len(buf), h0, c, sn)
+		// The AVX-512 tier nests UNDER useMixerAsm so one flag still
+		// disables all assembly; tiles under two ZMM registers stay on
+		// the AVX2 kernel.
+		if useMixerAsm512 && len(buf) >= 8 {
+			rxTileAsm512(&buf[0], len(buf), h0, c, sn)
+		} else {
+			rxTileAsm(&buf[0], len(buf), h0, c, sn)
+		}
 		return
 	}
 	rxTileGo(buf, h0, c, sn)
+}
+
+// KernelTier reports the active rxTile implementation tier: "avx512",
+// "avx2" or "portable". The tier is fixed at process start from CPUID/
+// XGETBV detection and the QAOA2_NOASM / QAOA2_NOAVX512 opt-outs; bench
+// provenance (maxcutbench -cpufeatures, the bench machine-class block)
+// records it so results from different kernel tiers never gate against
+// each other.
+func KernelTier() string {
+	switch {
+	case useMixerAsm && useMixerAsm512:
+		return "avx512"
+	case useMixerAsm:
+		return "avx2"
+	default:
+		return "portable"
+	}
 }
 
 // rxTileGo is the portable tile kernel: level h pairs (b, b+h); each

@@ -11,6 +11,13 @@ import "os"
 //go:noescape
 func rxTileAsm(buf *complex128, n, h0 int, c, sn float64)
 
+// rxTileAsm512 is the AVX-512F butterfly-network tile kernel
+// (mixer_avx512_amd64.s). Same contract as rxTileAsm plus n ≥ 8 (two
+// ZMM registers). Callers must have checked useMixerAsm512.
+//
+//go:noescape
+func rxTileAsm512(buf *complex128, n, h0 int, c, sn float64)
+
 // cpuidex executes CPUID with the given leaf/sub-leaf.
 func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 
@@ -22,6 +29,15 @@ func xgetbv0() (eax, edx uint32)
 // Go kernel (debugging, fallback-path benchmarking); tests flip the
 // variable directly to cover both paths.
 var useMixerAsm = detectAVX2FMA() && os.Getenv("QAOA2_NOASM") == ""
+
+// useMixerAsm512 further widens the tile kernel to ZMM registers where
+// the CPU has AVX-512F and the OS saves the full ZMM + opmask state.
+// It is only consulted UNDER useMixerAsm (rxTile), so QAOA2_NOASM=1
+// still disables all assembly; QAOA2_NOAVX512=1 drops just this tier
+// (back to AVX2+FMA) for downclocking-sensitive deployments and A/B
+// benchmarking. Tests flip the variable directly.
+var useMixerAsm512 = detectAVX512() && os.Getenv("QAOA2_NOASM") == "" &&
+	os.Getenv("QAOA2_NOAVX512") == ""
 
 func detectAVX2FMA() bool {
 	maxLeaf, _, _, _ := cpuidex(0, 0)
@@ -41,4 +57,21 @@ func detectAVX2FMA() bool {
 	_, ebx7, _, _ := cpuidex(7, 0)
 	const avx2Bit = 1 << 5
 	return ebx7&avx2Bit != 0
+}
+
+func detectAVX512() bool {
+	// The AVX2+FMA base (incl. OSXSAVE) is a prerequisite: the 512-bit
+	// kernel is only ever dispatched under useMixerAsm.
+	if !detectAVX2FMA() {
+		return false
+	}
+	// XCR0 must show the OS saving SSE+AVX (bits 1–2) AND the AVX-512
+	// state triple: opmask, ZMM upper halves, high-16 ZMM (bits 5–7).
+	xeax, _ := xgetbv0()
+	if xeax&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx512fBit = 1 << 16
+	return ebx7&avx512fBit != 0
 }

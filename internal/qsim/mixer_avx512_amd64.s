@@ -1,0 +1,127 @@
+// AVX-512F tile kernel for the blocked QAOA mixer (mixer.go) — the
+// wide sibling of rxTileAsm (mixer_amd64.s). One ZMM register holds
+// FOUR complex128 amplitudes, so each register load covers TWO
+// butterfly levels:
+//
+//   - level h = 1 pairs adjacent complexes inside each 256-bit half;
+//     VPERMPD $0x1B permutes 64-bit elements within each 256-bit lane
+//     independently, turning (a0,a1 ‖ a2,a3) into
+//     (swap(a1),swap(a0) ‖ swap(a3),swap(a2)) in one instruction.
+//   - level h = 2 pairs complex 0↔2 and 1↔3, i.e. swaps the register's
+//     256-bit halves: VSHUFF64X2 $0x4E rotates the four 128-bit chunks
+//     by two, then VPERMILPD $0x55 swaps re/im within every complex.
+//
+// Both butterfly members share the same update new = c·v + σ⊙swap(v'),
+// σ = (s, −s, …), so levels fuse into straight FMA chains with no
+// blends. Levels h ≥ 4 span whole registers and use the classic
+// two-pointer strided loop (as in the AVX2 kernel) at twice the width.
+//
+// Entry dispatch on h0 ∈ {1, 2, ≥4} mirrors rxTile's contract; callers
+// gate on len(buf) ≥ 8 (two ZMM registers) — smaller tiles stay on the
+// AVX2 kernel.
+
+#include "textflag.h"
+
+// σ sign mask: (+0.0, −0.0) × 4 — XORed onto broadcast s.
+DATA rxsign512<>+0(SB)/8, $0x0000000000000000
+DATA rxsign512<>+8(SB)/8, $0x8000000000000000
+DATA rxsign512<>+16(SB)/8, $0x0000000000000000
+DATA rxsign512<>+24(SB)/8, $0x8000000000000000
+DATA rxsign512<>+32(SB)/8, $0x0000000000000000
+DATA rxsign512<>+40(SB)/8, $0x8000000000000000
+DATA rxsign512<>+48(SB)/8, $0x0000000000000000
+DATA rxsign512<>+56(SB)/8, $0x8000000000000000
+GLOBL rxsign512<>(SB), RODATA|NOPTR, $64
+
+// func rxTileAsm512(buf *complex128, n, h0 int, c, sn float64)
+// Applies butterfly levels h = h0, 2·h0, ..., n/2. Requirements as
+// rxTileAsm, plus n ≥ 8.
+TEXT ·rxTileAsm512(SB), NOSPLIT, $0-40
+	MOVQ buf+0(FP), DI
+	MOVQ n+8(FP), SI
+	MOVQ h0+16(FP), R9                // first level h
+	VBROADCASTSD c+24(FP), Z0         // Z0 = (c, ..., c)
+	VBROADCASTSD sn+32(FP), Z1
+	VPXORQ rxsign512<>(SB), Z1, Z1    // Z1 = σ = (s, −s, s, −s, ...)
+
+	MOVQ SI, R15
+	SHLQ $4, R15
+	ADDQ DI, R15                      // end pointer
+
+	CMPQ R9, $1
+	JE   lvl12
+	CMPQ R9, $2
+	JE   lvl2
+	JMP  lvlh
+
+	// ---- fused levels h = 1 and h = 2: one load per register ----
+lvl12:
+	MOVQ DI, R8
+	MOVQ SI, CX
+	SHRQ $2, CX                       // n/4 registers
+fused:
+	VMOVUPD (R8), Z3                  // (a0, a1, a2, a3)
+	VPERMPD $0x1B, Z3, Z4             // per-256-lane reversal
+	VMULPD  Z0, Z3, Z5                // c·v
+	VFMADD231PD Z1, Z4, Z5            // + σ⊙swap(partner): level 1 done
+	VSHUFF64X2 $0x4E, Z5, Z5, Z6      // rotate halves: (a2, a3, a0, a1)
+	VPERMILPD $0x55, Z6, Z6           // swap re/im in every complex
+	VMULPD  Z0, Z5, Z7                // c·v
+	VFMADD231PD Z1, Z6, Z7            // + σ⊙swap(partner): level 2 done
+	VMOVUPD Z7, (R8)
+	ADDQ $64, R8
+	DECQ CX
+	JNZ  fused
+	MOVQ $4, R9                       // continue with h = 4
+	JMP  lvlh
+
+	// ---- level h = 2 alone (h0 = 2 entry) ----
+lvl2:
+	MOVQ DI, R8
+	MOVQ SI, CX
+	SHRQ $2, CX
+l2loop:
+	VMOVUPD (R8), Z3
+	VSHUFF64X2 $0x4E, Z3, Z3, Z6
+	VPERMILPD $0x55, Z6, Z6
+	VMULPD  Z0, Z3, Z7
+	VFMADD231PD Z1, Z6, Z7
+	VMOVUPD Z7, (R8)
+	ADDQ $64, R8
+	DECQ CX
+	JNZ  l2loop
+	MOVQ $4, R9
+
+	// ---- levels h = max(h0, 4), 2h, ..., n/2 ----
+lvlh:
+	CMPQ R9, SI
+	JGE  done
+	MOVQ R9, R10
+	SHLQ $4, R10                      // h in bytes
+	MOVQ DI, R11                      // a-block base pointer
+outer:
+	MOVQ R11, R13                     // b pointer
+	MOVQ R9, CX
+	SHRQ $2, CX                       // h/4 iterations of 4 butterflies
+inner:
+	VMOVUPD (R13), Z3                 // v0 = buf[b : b+4]
+	VMOVUPD (R13)(R10*1), Z4          // v1 = buf[b+h : b+h+4]
+	VPERMILPD $0x55, Z3, Z5           // swap re/im within each complex
+	VPERMILPD $0x55, Z4, Z6
+	VMULPD  Z0, Z3, Z7                // c·v0
+	VFMADD231PD Z1, Z6, Z7            // + σ⊙swap(v1)
+	VMULPD  Z0, Z4, Z8                // c·v1
+	VFMADD231PD Z1, Z5, Z8            // + σ⊙swap(v0)
+	VMOVUPD Z7, (R13)
+	VMOVUPD Z8, (R13)(R10*1)
+	ADDQ $64, R13
+	DECQ CX
+	JNZ  inner
+	LEAQ (R11)(R10*2), R11            // next a-block (step 2h)
+	CMPQ R11, R15
+	JL   outer
+	SHLQ $1, R9
+	JMP  lvlh
+done:
+	VZEROUPPER
+	RET

@@ -30,10 +30,19 @@ type poolTask struct {
 	wg         *sync.WaitGroup
 }
 
-// workerPool is a persistent set of kernel workers.
+// workerPool is a persistent set of kernel workers with SLICE-AFFINE
+// dispatch: worker w has a private queue and chunk w of every run is
+// sent to it, so the deterministic chunking below maps the same tile
+// range to the same worker goroutine sweep after sweep. Kernel sweeps
+// revisit the same amplitude ranges dozens of times per optimization
+// step; a shared queue hands tiles to whichever worker dequeues first,
+// migrating each tile's cache (and, on multi-socket machines, NUMA)
+// footprint between cores on every sweep. Affinity keeps a tile's
+// working set warm in one core's private cache — and keeps the sharded
+// engine's rank slices from ping-ponging between workers.
 type workerPool struct {
 	workers int
-	tasks   chan poolTask
+	tasks   []chan poolTask // tasks[w]: worker w's private queue
 }
 
 // newWorkerPool starts a pool with the given number of workers. Fewer
@@ -43,15 +52,19 @@ func newWorkerPool(workers int) *workerPool {
 	if workers < 2 {
 		return nil
 	}
-	p := &workerPool{workers: workers, tasks: make(chan poolTask, 2*workers)}
-	for i := 0; i < workers; i++ {
-		go p.work()
+	p := &workerPool{workers: workers, tasks: make([]chan poolTask, workers)}
+	for i := range p.tasks {
+		// Small buffer: concurrent callers (engine ranks, batch stripes)
+		// enqueue at most one chunk each per worker per run; a full
+		// queue back-pressures the dispatching caller, never a worker.
+		p.tasks[i] = make(chan poolTask, 4)
+		go p.work(i)
 	}
 	return p
 }
 
-func (p *workerPool) work() {
-	for t := range p.tasks {
+func (p *workerPool) work(w int) {
+	for t := range p.tasks[w] {
 		t.body(t.w, t.start, t.end)
 		t.wg.Done()
 	}
@@ -61,14 +74,18 @@ func (p *workerPool) work() {
 // callers (tests, benchmarks) need stopping; the shared pool lives for
 // the process. Run must not be in flight.
 func (p *workerPool) Stop() {
-	close(p.tasks)
+	for _, ch := range p.tasks {
+		close(ch)
+	}
 }
 
 // run splits [0, total) into at most p.workers chunks, executes the
 // last chunk on the calling goroutine, and blocks until all chunks are
-// done. wg is caller-owned so steady-state dispatch allocates nothing;
-// it must be quiescent (counter zero) on entry. The chunk index passed
-// to body is always < p.workers.
+// done. Chunk w always runs on worker w (and the final chunk always on
+// the caller), so equal-geometry sweeps get a stable worker→range
+// mapping. wg is caller-owned so steady-state dispatch allocates
+// nothing; it must be quiescent (counter zero) on entry. The chunk
+// index passed to body is always < p.workers.
 func (p *workerPool) run(total int, body func(w, start, end int), wg *sync.WaitGroup) {
 	workers := p.workers
 	if workers > total {
@@ -83,7 +100,7 @@ func (p *workerPool) run(total int, body func(w, start, end int), wg *sync.WaitG
 	wg.Add(chunks - 1)
 	for w := 0; w < chunks-1; w++ {
 		start := w * chunk
-		p.tasks <- poolTask{body: body, w: w, start: start, end: start + chunk, wg: wg}
+		p.tasks[w] <- poolTask{body: body, w: w, start: start, end: start + chunk, wg: wg}
 	}
 	body(chunks-1, (chunks-1)*chunk, total)
 	wg.Wait()

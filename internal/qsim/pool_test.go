@@ -1,6 +1,9 @@
 package qsim
 
 import (
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -74,5 +77,50 @@ func TestWorkerPoolConcurrentCallers(t *testing.T) {
 func TestWorkerPoolSingleWorkerIsNil(t *testing.T) {
 	if p := newWorkerPool(1); p != nil {
 		t.Fatal("single-worker pool should be the inline sentinel nil")
+	}
+}
+
+// goid extracts the current goroutine's id from its stack header — a
+// test-only trick to observe scheduling, never used by library code.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	// Header: "goroutine 123 [".
+	s := strings.TrimPrefix(string(buf[:n]), "goroutine ")
+	id, _ := strconv.ParseUint(s[:strings.IndexByte(s, ' ')], 10, 64)
+	return id
+}
+
+// TestWorkerPoolSliceAffinity pins the slice-affine dispatch contract:
+// across repeated equal-geometry runs, chunk w always lands on the same
+// goroutine (worker w's, or the caller's for the final chunk).
+func TestWorkerPoolSliceAffinity(t *testing.T) {
+	p := newWorkerPool(4)
+	defer p.Stop()
+	const total, rounds = 64, 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	owner := map[int]uint64{} // chunk index -> goroutine id of first round
+	for round := 0; round < rounds; round++ {
+		p.run(total, func(w, start, end int) {
+			id := goid()
+			mu.Lock()
+			defer mu.Unlock()
+			if prev, ok := owner[w]; !ok {
+				owner[w] = id
+			} else if prev != id {
+				t.Errorf("round %d: chunk %d migrated from goroutine %d to %d", round, w, prev, id)
+			}
+		}, &wg)
+	}
+	if len(owner) != 4 {
+		t.Fatalf("saw %d distinct chunks, want 4", len(owner))
+	}
+	seen := map[uint64]bool{}
+	for _, id := range owner {
+		seen[id] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 chunks ran on %d distinct goroutines, want 4", len(seen))
 	}
 }

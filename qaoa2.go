@@ -132,14 +132,27 @@ type (
 	// simulates only the 2^(n−1) Z2 even-sector amplitudes unless Full
 	// is set (or QAOA2_NOZ2 is in the environment).
 	FusedBackend = backend.Fused
+	// FusedDistBackend is the sharded fused engine: the same cost
+	// diagonal and mixer sweeps executed across a power-of-two rank
+	// count over the in-process comm world, with only the top
+	// log2(ranks) qubits' rotations routed through slice exchanges.
+	FusedDistBackend = backend.FusedDist
 	// NoisyBackend averages trajectory-sampled Pauli noise.
 	NoisyBackend = backend.Noisy
 )
 
 // BackendByName resolves a CLI backend name ("fused" and its alias
-// "fused-z2", the unreduced "fused-full", "dense", "noisy"; "" selects
-// the default rule at solve time).
+// "fused-z2", the unreduced "fused-full", the sharded
+// "fused-dist[:ranks]", "dense", "noisy"; "" selects the default rule
+// at solve time).
 func BackendByName(name string) (Backend, error) { return backend.ByName(name) }
+
+// KernelTier reports which mixer-kernel tier runtime feature detection
+// selected for this process: "avx512", "avx2", or "portable". The
+// QAOA2_NOASM and QAOA2_NOAVX512 environment variables force lower
+// tiers; `maxcutbench -cpufeatures` prints this alongside the opt-outs
+// in effect.
+func KernelTier() string { return qsim.KernelTier() }
 
 // BatchEvaluator is the optional batched extension of Ansatz
 // (implemented by the fused backend): EvaluateBatch evaluates K
